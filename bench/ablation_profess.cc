@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Extension: ablations of ProFess design choices called out in
+ * DESIGN.md - the Table 7 hysteresis thresholds (paper: 1/32 and
+ * 1/16, "to exclude cases where SF_A and SF_B are too similar") and
+ * the RSM sampling period Msamp.
+ *
+ * Expected shape: very small thresholds let RSM noise flip
+ * decisions; very large ones disable guidance and degenerate to
+ * MDM.  Msamp trades responsiveness against noise (Sec. 3.1.3).
+ */
+
+#include "bench_util.hh"
+
+using namespace profess;
+using namespace profess::bench;
+
+namespace
+{
+
+void
+runPoint(const bench::BenchEnv &env, const char *label,
+         double factor_thr, double product_thr,
+         std::uint64_t msamp)
+{
+    sim::SystemConfig cfg = sim::SystemConfig::quadCore();
+    cfg.core.instrQuota = env.multiInstr;
+    cfg.core.warmupInstr = env.warmupInstr;
+    cfg.professFactorThreshold = factor_thr;
+    cfg.professProductThreshold = product_thr;
+    cfg.msamp = msamp;
+    sim::ExperimentRunner runner(cfg);
+
+    RatioSeries sdn, ws;
+    unsigned count = 0;
+    for (const std::string &wname : env.workloads) {
+        if (++count > 6)
+            break;
+        const sim::WorkloadSpec *w = sim::findWorkload(wname);
+        if (!w)
+            continue;
+        sim::MultiMetrics pom = runner.runMulti("pom", *w);
+        sim::MultiMetrics pf = runner.runMulti("profess", *w);
+        sdn.add(pf.maxSlowdown / pom.maxSlowdown);
+        ws.add(pf.weightedSpeedup / pom.weightedSpeedup);
+    }
+    std::printf("%-28s maxSdn/PoM %.3f   ws/PoM %.3f\n", label,
+                sdn.gmean(), ws.gmean());
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    BenchEnv env = benchEnv();
+    header("Ablation: ProFess thresholds and Msamp",
+           "Sec. 3.3 / Sec. 3.1.3 design choices");
+    std::printf("\n(first six Table 10 workloads, ProFess "
+                "normalized to PoM)\n\n");
+
+    runPoint(env, "no hysteresis (t=1.0)", 1.0, 1.0, 2048);
+    runPoint(env, "paper t=1/32, tp=1/16", 1.0 + 1.0 / 32.0,
+             1.0 + 1.0 / 16.0, 2048);
+    runPoint(env, "strong t=1/8, tp=1/4", 1.125, 1.25, 2048);
+    runPoint(env, "guidance off (t=1e9)", 1e9, 1e9, 2048);
+    std::printf("\n");
+    runPoint(env, "Msamp=512", 1.0 + 1.0 / 32.0,
+             1.0 + 1.0 / 16.0, 512);
+    runPoint(env, "Msamp=2048 (default)", 1.0 + 1.0 / 32.0,
+             1.0 + 1.0 / 16.0, 2048);
+    runPoint(env, "Msamp=8192", 1.0 + 1.0 / 32.0,
+             1.0 + 1.0 / 16.0, 8192);
+    return 0;
+}

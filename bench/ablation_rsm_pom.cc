@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Extension (paper Sec. 6): RSM is policy-agnostic and "can be
+ * integrated with other migration algorithms instead of MDM".
+ * This ablation wraps RSM's Table 7 guidance around PoM and
+ * compares plain PoM, RSM-guided PoM, and full ProFess on a subset
+ * of the Table 10 workloads.
+ *
+ * Expected shape: rsm-pom improves PoM's fairness on workloads with
+ * a dominant sufferer, while ProFess (with MDM underneath) remains
+ * the strongest overall.
+ */
+
+#include "bench_util.hh"
+
+using namespace profess;
+using namespace profess::bench;
+
+int
+main()
+{
+    BenchEnv env = benchEnv();
+    header("Ablation: RSM guidance around PoM (paper Sec. 6)",
+           "Sec. 6 (RSM portability)");
+
+    sim::SystemConfig cfg = sim::SystemConfig::quadCore();
+    cfg.core.instrQuota = env.multiInstr;
+    cfg.core.warmupInstr = env.warmupInstr;
+    sim::ExperimentRunner runner(cfg);
+
+    std::printf("\n%-5s | %9s %9s | %9s %9s | %9s %9s\n", "wl",
+                "pom.sdn", "pom.ws", "rsm.sdn", "rsm.ws",
+                "pf.sdn", "pf.ws");
+    RatioSeries sdn_rsm, sdn_pf;
+    unsigned count = 0;
+    for (const std::string &wname : env.workloads) {
+        if (++count > 8)
+            break;
+        const sim::WorkloadSpec *w = sim::findWorkload(wname);
+        if (!w)
+            continue;
+        sim::MultiMetrics pom = runner.runMulti("pom", *w);
+        sim::MultiMetrics rsm = runner.runMulti("rsm-pom", *w);
+        sim::MultiMetrics pf = runner.runMulti("profess", *w);
+        sdn_rsm.add(rsm.maxSlowdown / pom.maxSlowdown);
+        sdn_pf.add(pf.maxSlowdown / pom.maxSlowdown);
+        std::printf("%-5s | %9.2f %9.3f | %9.2f %9.3f | %9.2f "
+                    "%9.3f\n",
+                    wname.c_str(), pom.maxSlowdown,
+                    pom.weightedSpeedup, rsm.maxSlowdown,
+                    rsm.weightedSpeedup, pf.maxSlowdown,
+                    pf.weightedSpeedup);
+    }
+    std::printf("\nmax-slowdown vs PoM: rsm-pom gmean %.3f, "
+                "profess gmean %.3f\n",
+                sdn_rsm.gmean(), sdn_pf.gmean());
+    return 0;
+}

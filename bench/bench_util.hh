@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction binaries.
+ *
+ * Environment knobs:
+ *   PROFESS_INSTR     measured instructions per program
+ *                     (default 3M single / 2M multi)
+ *   PROFESS_WARMUP    warm-up instructions (default 1M)
+ *   PROFESS_QUICK     =1: quarter-size runs for smoke testing
+ *   PROFESS_WORKLOADS comma list (default: all of Table 10)
+ */
+
+#ifndef PROFESS_BENCH_BENCH_UTIL_HH
+#define PROFESS_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "sim/experiment.hh"
+
+namespace profess
+{
+
+namespace bench
+{
+
+/** Run-size configuration from the environment. */
+struct BenchEnv
+{
+    std::uint64_t singleInstr = 3'000'000;
+    std::uint64_t multiInstr = 2'000'000;
+    std::uint64_t warmupInstr = 1'000'000;
+    std::vector<std::string> workloads;
+};
+
+inline std::uint64_t
+envUint(const char *name, std::uint64_t def)
+{
+    const char *s = std::getenv(name);
+    if (s == nullptr || *s == '\0')
+        return def;
+    return std::strtoull(s, nullptr, 0);
+}
+
+inline BenchEnv
+benchEnv()
+{
+    BenchEnv e;
+    if (envUint("PROFESS_QUICK", 0)) {
+        e.singleInstr = 600'000;
+        e.multiInstr = 400'000;
+        e.warmupInstr = 200'000;
+    }
+    e.singleInstr = envUint("PROFESS_INSTR", e.singleInstr);
+    e.multiInstr = envUint("PROFESS_INSTR", e.multiInstr);
+    e.warmupInstr = envUint("PROFESS_WARMUP", e.warmupInstr);
+
+    const char *wl = std::getenv("PROFESS_WORKLOADS");
+    if (wl && *wl) {
+        std::string s(wl);
+        std::size_t pos = 0;
+        while (pos < s.size()) {
+            std::size_t c = s.find(',', pos);
+            if (c == std::string::npos)
+                c = s.size();
+            e.workloads.push_back(s.substr(pos, c - pos));
+            pos = c + 1;
+        }
+    } else {
+        for (const auto &w : sim::multiprogramWorkloads())
+            e.workloads.push_back(w.name);
+    }
+    return e;
+}
+
+/** Banner naming the paper artifact being regenerated. */
+inline void
+header(const char *what, const char *paper_ref)
+{
+    std::printf("\n=============================================="
+                "==============\n");
+    std::printf("%s\n(reproduces %s of Knyaginin et al., "
+                "\"ProFess\", HPCA 2018; scaled 1/100 per "
+                "DESIGN.md)\n", what, paper_ref);
+    std::printf("================================================"
+                "============\n");
+}
+
+/** Geometric-mean accumulator for ratio series. */
+class RatioSeries
+{
+  public:
+    void
+    add(double r)
+    {
+        ratios_.push_back(r);
+    }
+
+    double gmean() const { return geometricMean(ratios_); }
+
+    double
+    max() const
+    {
+        double m = ratios_.empty() ? 0.0 : ratios_[0];
+        for (double r : ratios_)
+            m = r > m ? r : m;
+        return m;
+    }
+
+    double
+    min() const
+    {
+        double m = ratios_.empty() ? 0.0 : ratios_[0];
+        for (double r : ratios_)
+            m = r < m ? r : m;
+        return m;
+    }
+
+    const std::vector<double> &values() const { return ratios_; }
+
+  private:
+    std::vector<double> ratios_;
+};
+
+/** All ten Table 9 programs. */
+inline std::vector<std::string>
+allPrograms()
+{
+    std::vector<std::string> v;
+    for (const auto &p : trace::specProfiles())
+        v.push_back(p.name);
+    return v;
+}
+
+} // namespace bench
+
+} // namespace profess
+
+#endif // PROFESS_BENCH_BENCH_UTIL_HH

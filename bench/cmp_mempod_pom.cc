@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Reproduces the Sec. 2.5 MemPod-vs-PoM comparison: average main
+ * memory access time (AMMAT, MemPod's preferred metric) in single-
+ * and multi-program runs, plus the CAMEO- and SILC-FM-style
+ * baselines for context (Table 2).
+ *
+ * Expected shape (paper): MemPod's AMMAT is longer than PoM's on
+ * this NVM-based system (+19% single / +18% multi) because PoM's
+ * global cost-benefit analysis adapts to the technology
+ * characteristics while MEA does not.
+ */
+
+#include "bench_util.hh"
+
+using namespace profess;
+using namespace profess::bench;
+
+int
+main()
+{
+    BenchEnv env = benchEnv();
+    header("Sec. 2.5: MemPod vs PoM (and Table 2 baselines)",
+           "Sec. 2.5 / Table 2");
+
+    {
+        sim::SystemConfig cfg = sim::SystemConfig::singleCore();
+        cfg.core.instrQuota = env.singleInstr;
+        cfg.core.warmupInstr = env.warmupInstr;
+        sim::ExperimentRunner runner(cfg);
+        std::printf("\nsingle-program mean read latency (ns):\n");
+        std::printf("%-12s %8s %8s %8s %8s\n", "program", "pom",
+                    "mempod", "cameo", "silcfm");
+        RatioSeries mp_ratio;
+        for (const std::string &prog : allPrograms()) {
+            double pom =
+                runner.run("pom", {prog}).meanReadLatencyNs;
+            double mp =
+                runner.run("mempod", {prog}).meanReadLatencyNs;
+            double cam =
+                runner.run("cameo", {prog}).meanReadLatencyNs;
+            double silc =
+                runner.run("silcfm", {prog}).meanReadLatencyNs;
+            mp_ratio.add(mp / pom);
+            std::printf("%-12s %8.1f %8.1f %8.1f %8.1f\n",
+                        prog.c_str(), pom, mp, cam, silc);
+        }
+        std::printf("MemPod/PoM AMMAT gmean: %.3f (%s; paper "
+                    "+19%%)\n",
+                    mp_ratio.gmean(),
+                    sim::percentDelta(mp_ratio.gmean()).c_str());
+    }
+
+    {
+        sim::SystemConfig cfg = sim::SystemConfig::quadCore();
+        cfg.core.instrQuota = env.multiInstr;
+        cfg.core.warmupInstr = env.warmupInstr;
+        sim::ExperimentRunner runner(cfg);
+        std::printf("\nmulti-program mean read latency (ns), "
+                    "first five workloads:\n");
+        std::printf("%-5s %8s %8s %10s\n", "wl", "pom", "mempod",
+                    "ratio");
+        RatioSeries mp_ratio;
+        unsigned count = 0;
+        for (const std::string &wname : env.workloads) {
+            if (++count > 5)
+                break;
+            const sim::WorkloadSpec *w = sim::findWorkload(wname);
+            if (!w)
+                continue;
+            std::vector<std::string> progs(w->programs.begin(),
+                                           w->programs.end());
+            double pom =
+                runner.run("pom", progs).meanReadLatencyNs;
+            double mp =
+                runner.run("mempod", progs).meanReadLatencyNs;
+            mp_ratio.add(mp / pom);
+            std::printf("%-5s %8.1f %8.1f %10.3f\n", wname.c_str(),
+                        pom, mp, mp / pom);
+        }
+        std::printf("MemPod/PoM AMMAT gmean: %.3f (%s; paper "
+                    "+18%%)\n",
+                    mp_ratio.gmean(),
+                    sim::percentDelta(mp_ratio.gmean()).c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Extension: hardware vs OS-based management (paper Sec. 2.2).
+ *
+ * The paper motivates hardware management by its sub-page
+ * granularity and fast responsiveness to working-set changes,
+ * contrasting with Thermostat-style OS page migration.  This
+ * benchmark compares the OS coarse-grain baseline against PoM and
+ * ProFess on single-program runs.
+ *
+ * Expected shape: the OS baseline captures clearly less traffic in
+ * M1 (slow intervals, hot-page thresholds) and trails the hardware
+ * policies, most visibly for programs with working-set drift
+ * (GemsFDTD, mcf, omnetpp phases).
+ */
+
+#include "bench_util.hh"
+
+using namespace profess;
+using namespace profess::bench;
+
+int
+main()
+{
+    BenchEnv env = benchEnv();
+    header("Extension: OS coarse-grain vs hardware management",
+           "Sec. 2.2 (management granularity)");
+
+    sim::SystemConfig cfg = sim::SystemConfig::singleCore();
+    cfg.core.instrQuota = env.singleInstr;
+    cfg.core.warmupInstr = env.warmupInstr;
+    sim::ExperimentRunner runner(cfg);
+
+    std::printf("\n%-12s %21s %21s %21s\n", "",
+                "oscoarse", "pom", "profess");
+    std::printf("%-12s %8s %6s %5s %8s %6s %5s %8s %6s %5s\n",
+                "program", "IPC", "M1%", "sw%", "IPC", "M1%",
+                "sw%", "IPC", "M1%", "sw%");
+    RatioSeries os_vs_pom;
+    for (const std::string &prog : allPrograms()) {
+        sim::RunResult os = runner.run("oscoarse", {prog});
+        sim::RunResult pom = runner.run("pom", {prog});
+        sim::RunResult pf = runner.run("profess", {prog});
+        os_vs_pom.add(os.ipc[0] / pom.ipc[0]);
+        std::printf("%-12s %8.3f %5.1f%% %4.1f%% %8.3f %5.1f%% "
+                    "%4.1f%% %8.3f %5.1f%% %4.1f%%\n",
+                    prog.c_str(), os.ipc[0], 100.0 * os.m1Fraction,
+                    100.0 * os.swapFraction, pom.ipc[0],
+                    100.0 * pom.m1Fraction,
+                    100.0 * pom.swapFraction, pf.ipc[0],
+                    100.0 * pf.m1Fraction,
+                    100.0 * pf.swapFraction);
+    }
+    std::printf("\nOS-coarse / PoM IPC gmean: %.3f (%s)\n",
+                os_vs_pom.gmean(),
+                sim::percentDelta(os_vs_pom.gmean()).c_str());
+    return 0;
+}

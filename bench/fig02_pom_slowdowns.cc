@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Reproduces Fig. 2: per-program slowdowns under PoM management for
+ * workloads w09, w16 and w19 (Sec. 2.4, the fairness problem).
+ *
+ * Expected shape: within each workload some program suffers a much
+ * larger slowdown than its co-runners (the paper highlights soplex
+ * in w09, zeusmp in w16 and leslie3d in w19).
+ */
+
+#include "bench_util.hh"
+
+using namespace profess;
+using namespace profess::bench;
+
+int
+main()
+{
+    BenchEnv env = benchEnv();
+    header("Fig. 2: slowdowns under PoM", "Figure 2");
+
+    sim::SystemConfig cfg = sim::SystemConfig::quadCore();
+    cfg.core.instrQuota = env.multiInstr;
+    cfg.core.warmupInstr = env.warmupInstr;
+    sim::ExperimentRunner runner(cfg);
+
+    for (const char *wname : {"w09", "w16", "w19"}) {
+        const sim::WorkloadSpec *w = sim::findWorkload(wname);
+        sim::MultiMetrics m = runner.runMulti("pom", *w);
+        std::printf("\n%s:\n", wname);
+        double max_sdn = 0, min_sdn = 1e9;
+        for (unsigned i = 0; i < 4; ++i) {
+            std::printf("  %-12s slowdown %.2f\n", w->programs[i],
+                        m.slowdown[i]);
+            max_sdn = std::max(max_sdn, m.slowdown[i]);
+            min_sdn = std::min(min_sdn, m.slowdown[i]);
+        }
+        std::printf("  -> max/min slowdown disparity: %.2fx "
+                    "(unfairness %.2f)\n",
+                    max_sdn / min_sdn, m.maxSlowdown);
+    }
+    return 0;
+}

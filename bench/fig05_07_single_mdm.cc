@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Reproduces Figs. 5-7: single-program evaluation of MDM vs PoM on
+ * the single-core system (Sec. 5.1).
+ *
+ *  - Fig. 5: IPC of MDM normalized to PoM (box-plot statistics)
+ *  - Fig. 6: fraction of accesses served from M1, MDM norm. to PoM
+ *  - Fig. 7: STC hit rates under MDM
+ *
+ * Expected shapes: MDM >= PoM for irregular memory-bound programs
+ * (mcf the largest winner here), mcf/omnetpp with the lowest STC hit
+ * rates.  libquantum's footprint fits into M1 (as in the paper).
+ */
+
+#include "bench_util.hh"
+
+using namespace profess;
+using namespace profess::bench;
+
+int
+main()
+{
+    BenchEnv env = benchEnv();
+    header("Figs. 5-7: single-program MDM vs PoM", "Figures 5, 6, 7");
+
+    sim::SystemConfig cfg = sim::SystemConfig::singleCore();
+    cfg.core.instrQuota = env.singleInstr;
+    cfg.core.warmupInstr = env.warmupInstr;
+    sim::ExperimentRunner runner(cfg);
+
+    std::printf("\n%-12s %8s %8s %9s %10s %10s %8s\n", "program",
+                "IPC.pom", "IPC.mdm", "mdm/pom", "M1%.pom",
+                "M1%.mdm", "STC.mdm");
+    RatioSeries ipc_ratio, m1_ratio;
+    std::vector<double> stc_rates;
+    for (const std::string &prog : allPrograms()) {
+        sim::RunResult pom = runner.run("pom", {prog});
+        sim::RunResult mdm = runner.run("mdm", {prog});
+        double r_ipc = mdm.ipc[0] / pom.ipc[0];
+        double r_m1 = pom.m1Fraction > 0
+                          ? mdm.m1Fraction / pom.m1Fraction
+                          : 0.0;
+        ipc_ratio.add(r_ipc);
+        m1_ratio.add(r_m1);
+        stc_rates.push_back(mdm.stcHitRate);
+        std::printf("%-12s %8.3f %8.3f %9.3f %9.1f%% %9.1f%% "
+                    "%7.1f%%\n",
+                    prog.c_str(), pom.ipc[0], mdm.ipc[0], r_ipc,
+                    100.0 * pom.m1Fraction, 100.0 * mdm.m1Fraction,
+                    100.0 * mdm.stcHitRate);
+    }
+
+    BoxSummary box = boxSummary(ipc_ratio.values());
+    std::printf("\nFig. 5 box statistics of MDM/PoM IPC "
+                "(paper: gmean +14%%, max +38%%):\n");
+    std::printf("  min %.3f  q1 %.3f  median %.3f  q3 %.3f  max "
+                "%.3f  gmean %.3f (%s)\n",
+                box.min, box.q1, box.median, box.q3, box.max,
+                box.gmean, sim::percentDelta(box.gmean).c_str());
+    std::printf("Fig. 6 M1-fraction ratio gmean: %.3f\n",
+                m1_ratio.gmean());
+    BoxSummary stc = boxSummary(stc_rates);
+    std::printf("Fig. 7 STC hit rate under MDM: min %.1f%% median "
+                "%.1f%% max %.1f%% (paper: mcf ~85%%, omnetpp "
+                "~70%%, others higher)\n",
+                100.0 * stc.min, 100.0 * stc.median,
+                100.0 * stc.max);
+    return 0;
+}

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Reproduces Fig. 16: per-program slowdowns of PoM, MDM and ProFess
+ * for workloads w09, w16 and w19 (Sec. 5.4).
+ *
+ * Expected shapes: MDM lowers slowdowns by speeding programs up;
+ * ProFess further reduces the max slowdown, where possible, by
+ * slowing lightly-loaded programs to help the most-suffering one
+ * (the paper's w09: lbm and GemsFDTD are slowed to help mcf and
+ * soplex); in some workloads (paper's w16) no further opportunity
+ * exists.
+ */
+
+#include "bench_util.hh"
+
+using namespace profess;
+using namespace profess::bench;
+
+int
+main()
+{
+    BenchEnv env = benchEnv();
+    header("Fig. 16: per-program slowdown detail", "Figure 16");
+
+    sim::SystemConfig cfg = sim::SystemConfig::quadCore();
+    cfg.core.instrQuota = env.multiInstr;
+    cfg.core.warmupInstr = env.warmupInstr;
+    sim::ExperimentRunner runner(cfg);
+
+    for (const char *wname : {"w09", "w16", "w19"}) {
+        const sim::WorkloadSpec *w = sim::findWorkload(wname);
+        sim::MultiMetrics pom = runner.runMulti("pom", *w);
+        sim::MultiMetrics mdm = runner.runMulti("mdm", *w);
+        sim::MultiMetrics pf = runner.runMulti("profess", *w);
+        std::printf("\n%s: %-12s %8s %8s %8s\n", wname, "program",
+                    "pom", "mdm", "profess");
+        for (unsigned i = 0; i < 4; ++i) {
+            std::printf("     %-12s %8.2f %8.2f %8.2f\n",
+                        w->programs[i], pom.slowdown[i],
+                        mdm.slowdown[i], pf.slowdown[i]);
+        }
+        std::printf("     %-12s %8.2f %8.2f %8.2f\n", "max",
+                    pom.maxSlowdown, mdm.maxSlowdown,
+                    pf.maxSlowdown);
+    }
+    return 0;
+}

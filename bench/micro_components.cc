@@ -1,0 +1,133 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's hot
+ * components: STC lookups, channel scheduling, pattern generation,
+ * MDM decisions, and whole-system simulation throughput.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <memory>
+
+#include "common/event.hh"
+#include "core/mdm.hh"
+#include "hybrid/stc.hh"
+#include "mem/channel.hh"
+#include "trace/spec_profiles.hh"
+#include "sim/experiment.hh"
+
+using namespace profess;
+
+namespace
+{
+
+void
+BM_StcLookup(benchmark::State &state)
+{
+    hybrid::StCache stc(hybrid::StCache::Params{2 * KiB, 8, 8});
+    std::uint8_t qac[hybrid::maxSlots] = {};
+    hybrid::StcEviction ev;
+    for (std::uint64_t g = 0; g < 256; ++g)
+        stc.insert(g, qac, ev);
+    std::uint64_t g = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(stc.find(g));
+        g = (g + 17) % 512;
+    }
+}
+BENCHMARK(BM_StcLookup);
+
+void
+BM_ChannelRead(benchmark::State &state)
+{
+    EventQueue eq;
+    mem::ModuleGeometry g1 = mem::ModuleGeometry::withCapacity(MiB);
+    mem::ModuleGeometry g2 =
+        mem::ModuleGeometry::withCapacity(8 * MiB);
+    mem::Channel ch(eq, mem::m1Timing(), mem::m2Timing(), g1, g2);
+    Addr a = 0;
+    for (auto _ : state) {
+        auto r = std::make_unique<mem::Request>();
+        r->module = mem::Module::M2;
+        r->addr = a;
+        ch.push(std::move(r));
+        eq.run();
+        a = (a + 8 * KiB) % g2.capacity();
+    }
+}
+BENCHMARK(BM_ChannelRead);
+
+void
+BM_PatternGeneration(benchmark::State &state)
+{
+    auto src = trace::makeSpecSource("soplex", trace::defaultScale,
+                                     1);
+    trace::MemAccess a;
+    for (auto _ : state) {
+        src->next(a);
+        benchmark::DoNotOptimize(a.vaddr);
+    }
+}
+BENCHMARK(BM_PatternGeneration);
+
+void
+BM_MdmDecision(benchmark::State &state)
+{
+    core::Mdm::Params p;
+    p.numPrograms = 4;
+    core::Mdm mdm(p);
+    for (int i = 0; i < 3000; ++i)
+        mdm.recordEviction(0, 3, 40);
+    hybrid::StcMeta meta{};
+    std::memset(meta.ac, 0, sizeof(meta.ac));
+    meta.qacAtInsert[2] = 3;
+    meta.ac[2] = 5;
+    meta.ac[0] = 10;
+    policy::AccessInfo info{};
+    info.slot = 2;
+    info.m1Slot = 0;
+    info.accessor = 0;
+    info.m1Owner = 1;
+    info.meta = &meta;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(mdm.decide(info, false));
+}
+BENCHMARK(BM_MdmDecision);
+
+void
+BM_EventQueue(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue eq;
+        int sink = 0;
+        for (Tick t = 0; t < 1000; ++t)
+            eq.schedule(t * 7 % 997, [&sink]() { ++sink; });
+        eq.run();
+        benchmark::DoNotOptimize(sink);
+    }
+}
+BENCHMARK(BM_EventQueue);
+
+void
+BM_SystemThroughput(benchmark::State &state)
+{
+    // Whole-system simulation rate: instructions per wall second.
+    std::uint64_t instr = 0;
+    for (auto _ : state) {
+        sim::SystemConfig cfg = sim::SystemConfig::singleCore();
+        cfg.core.instrQuota = 100000;
+        cfg.core.warmupInstr = 0;
+        sim::ExperimentRunner runner(cfg);
+        sim::RunResult r = runner.run("profess", {"soplex"});
+        benchmark::DoNotOptimize(r.ipc[0]);
+        instr += 100000;
+    }
+    state.counters["instr/s"] = benchmark::Counter(
+        static_cast<double>(instr), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SystemThroughput)->Unit(benchmark::kMillisecond);
+
+} // anonymous namespace
+
+BENCHMARK_MAIN();

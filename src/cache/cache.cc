@@ -1,0 +1,135 @@
+#include "cache/cache.hh"
+
+#include "common/logging.hh"
+
+namespace profess
+{
+
+namespace cache
+{
+
+Cache::Cache(const Params &p) : params_(p)
+{
+    fatal_if(p.ways == 0, "cache needs at least one way");
+    fatal_if(p.lineBytes == 0 || !isPowerOfTwo(p.lineBytes),
+             "line size must be a power of two");
+    std::uint64_t lines = p.capacityBytes / p.lineBytes;
+    fatal_if(lines < p.ways, "cache smaller than one set");
+    numSets_ = lines / p.ways;
+    store_.resize(numSets_ * p.ways);
+}
+
+Cache::Outcome
+Cache::access(Addr addr, bool is_write)
+{
+    std::uint64_t line = lineOf(addr);
+    std::uint64_t tag = tagOf(line);
+    Line *set = &store_[setOf(line) * params_.ways];
+
+    Outcome out;
+    for (unsigned w = 0; w < params_.ways; ++w) {
+        if (set[w].valid && set[w].tag == tag) {
+            set[w].lastUse = ++useClock_;
+            set[w].dirty = set[w].dirty || is_write;
+            ++hits_;
+            out.hit = true;
+            return out;
+        }
+    }
+    ++misses_;
+
+    // Fill: evict LRU.
+    Line *victim = &set[0];
+    for (unsigned w = 1; w < params_.ways; ++w) {
+        if (!set[w].valid) {
+            victim = &set[w];
+            break;
+        }
+        if (!victim->valid)
+            break;
+        if (set[w].lastUse < victim->lastUse)
+            victim = &set[w];
+    }
+    if (victim->valid && victim->dirty) {
+        ++writebacks_;
+        out.writeback = true;
+        std::uint64_t victim_line =
+            victim->tag * numSets_ + setOf(line);
+        out.writebackAddr = victim_line * params_.lineBytes;
+    }
+    victim->valid = true;
+    victim->dirty = is_write;
+    victim->tag = tag;
+    victim->lastUse = ++useClock_;
+    return out;
+}
+
+bool
+Cache::probe(Addr addr) const
+{
+    std::uint64_t line = lineOf(addr);
+    std::uint64_t tag = tagOf(line);
+    const Line *set = &store_[setOf(line) * params_.ways];
+    for (unsigned w = 0; w < params_.ways; ++w) {
+        if (set[w].valid && set[w].tag == tag)
+            return true;
+    }
+    return false;
+}
+
+void
+Cache::flush()
+{
+    for (auto &l : store_)
+        l = Line{};
+}
+
+Hierarchy::Hierarchy(const Params &p)
+    : l1_(p.l1), l2_(p.l2), l3_(p.l3)
+{
+}
+
+Hierarchy::Outcome
+Hierarchy::access(Addr addr, bool is_write)
+{
+    Outcome out;
+    Cache::Outcome o1 = l1_.access(addr, is_write);
+    if (o1.hit) {
+        out.latency = l1_.hitLatency();
+        return out;
+    }
+    // L1 victim writebacks land in L2 (they hit or allocate there);
+    // modelled by an L2 write access.
+    if (o1.writeback) {
+        Cache::Outcome w = l2_.access(o1.writebackAddr, true);
+        if (w.writeback) {
+            Cache::Outcome w3 =
+                l3_.access(w.writebackAddr, true);
+            if (w3.writeback)
+                out.memWritebacks.push_back(w3.writebackAddr);
+        }
+    }
+    Cache::Outcome o2 = l2_.access(addr, is_write);
+    if (o2.hit) {
+        out.latency = l1_.hitLatency() + l2_.hitLatency();
+        return out;
+    }
+    if (o2.writeback) {
+        Cache::Outcome w3 = l3_.access(o2.writebackAddr, true);
+        if (w3.writeback)
+            out.memWritebacks.push_back(w3.writebackAddr);
+    }
+    Cache::Outcome o3 = l3_.access(addr, is_write);
+    out.latency =
+        l1_.hitLatency() + l2_.hitLatency() + l3_.hitLatency();
+    if (o3.hit)
+        return out;
+    if (o3.writeback)
+        out.memWritebacks.push_back(o3.writebackAddr);
+    out.l3Miss = true;
+    return out;
+}
+
+} // namespace cache
+
+} // namespace profess

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Set-associative write-back cache model.
+ *
+ * Functional (tags only) with LRU replacement and write-allocate,
+ * used for the L1/L2/L3 hierarchy (Table 8) that filters
+ * instruction-level traces down to main-memory traffic, and reusable
+ * for any tag store.  Latencies are carried as metadata; the
+ * hierarchy accumulates them.
+ */
+
+#ifndef PROFESS_CACHE_CACHE_HH
+#define PROFESS_CACHE_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace profess
+{
+
+namespace cache
+{
+
+/** One set-associative cache level. */
+class Cache
+{
+  public:
+    struct Params
+    {
+        std::string name = "cache";
+        std::uint64_t capacityBytes = 32 * KiB;
+        unsigned ways = 4;
+        std::uint64_t lineBytes = 64;
+        Cycles hitLatency = 2; ///< core cycles
+    };
+
+    /** Outcome of one access. */
+    struct Outcome
+    {
+        bool hit = false;
+        bool writeback = false; ///< a dirty victim was evicted
+        Addr writebackAddr = 0; ///< line address of the victim
+    };
+
+    explicit Cache(const Params &p);
+
+    /**
+     * Access a byte address (write-allocate, LRU).
+     *
+     * @param addr Byte address.
+     * @param is_write True for stores.
+     * @return hit/miss and any dirty victim evicted by the fill.
+     */
+    Outcome access(Addr addr, bool is_write);
+
+    /** @return true if the line is present (no LRU update). */
+    bool probe(Addr addr) const;
+
+    /** Invalidate everything (drops dirty data). */
+    void flush();
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t writebacks() const { return writebacks_; }
+    Cycles hitLatency() const { return params_.hitLatency; }
+    const Params &params() const { return params_; }
+
+    /** @return hit rate in [0,1] (1 if never accessed). */
+    double
+    hitRate() const
+    {
+        std::uint64_t t = hits_ + misses_;
+        return t == 0 ? 1.0
+                      : static_cast<double>(hits_) /
+                            static_cast<double>(t);
+    }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t tag = 0;
+        std::uint64_t lastUse = 0;
+    };
+
+    std::uint64_t lineOf(Addr a) const { return a / params_.lineBytes; }
+    std::uint64_t setOf(std::uint64_t line) const
+    {
+        return line % numSets_;
+    }
+    std::uint64_t tagOf(std::uint64_t line) const
+    {
+        return line / numSets_;
+    }
+
+    Params params_;
+    std::uint64_t numSets_;
+    std::vector<Line> store_;
+    std::uint64_t useClock_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t writebacks_ = 0;
+};
+
+/** L1 -> L2 -> L3 hierarchy front-end. */
+class Hierarchy
+{
+  public:
+    struct Params
+    {
+        Cache::Params l1{"L1", 32 * KiB, 4, 64, 2};
+        Cache::Params l2{"L2", 256 * KiB, 8, 64, 8};
+        Cache::Params l3{"L3", 8 * MiB, 16, 64, 20};
+    };
+
+    /** Result of pushing one access through the hierarchy. */
+    struct Outcome
+    {
+        bool l3Miss = false;     ///< must go to main memory
+        Cycles latency = 0;      ///< hit latency of serving level
+        /** Dirty L3 victims that must be written to memory. */
+        std::vector<Addr> memWritebacks;
+    };
+
+    explicit Hierarchy(const Params &p);
+
+    /** Access a byte address through L1/L2/L3. */
+    Outcome access(Addr addr, bool is_write);
+
+    Cache &l1() { return l1_; }
+    Cache &l2() { return l2_; }
+    Cache &l3() { return l3_; }
+
+  private:
+    Cache l1_, l2_, l3_;
+};
+
+} // namespace cache
+
+} // namespace profess
+
+#endif // PROFESS_CACHE_CACHE_HH

@@ -1,0 +1,133 @@
+#include "common/config.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace profess
+{
+
+void
+Config::set(const std::string &key, const std::string &value)
+{
+    entries_[key] = value;
+}
+
+void
+Config::setInt(const std::string &key, std::int64_t v)
+{
+    entries_[key] = std::to_string(v);
+}
+
+void
+Config::setDouble(const std::string &key, double v)
+{
+    entries_[key] = std::to_string(v);
+}
+
+void
+Config::setBool(const std::string &key, bool v)
+{
+    entries_[key] = v ? "true" : "false";
+}
+
+bool
+Config::has(const std::string &key) const
+{
+    return entries_.count(key) != 0;
+}
+
+std::string
+Config::getString(const std::string &key, const std::string &def) const
+{
+    auto it = entries_.find(key);
+    return it == entries_.end() ? def : it->second;
+}
+
+std::int64_t
+Config::getInt(const std::string &key, std::int64_t def) const
+{
+    auto it = entries_.find(key);
+    if (it == entries_.end())
+        return def;
+    char *end = nullptr;
+    std::int64_t v = std::strtoll(it->second.c_str(), &end, 0);
+    fatal_if(end == it->second.c_str() || *end != '\0',
+             "config key '%s': '%s' is not an integer", key.c_str(),
+             it->second.c_str());
+    return v;
+}
+
+std::uint64_t
+Config::getUint(const std::string &key, std::uint64_t def) const
+{
+    auto it = entries_.find(key);
+    if (it == entries_.end())
+        return def;
+    char *end = nullptr;
+    std::uint64_t v = std::strtoull(it->second.c_str(), &end, 0);
+    fatal_if(end == it->second.c_str() || *end != '\0',
+             "config key '%s': '%s' is not an unsigned integer",
+             key.c_str(), it->second.c_str());
+    return v;
+}
+
+double
+Config::getDouble(const std::string &key, double def) const
+{
+    auto it = entries_.find(key);
+    if (it == entries_.end())
+        return def;
+    char *end = nullptr;
+    double v = std::strtod(it->second.c_str(), &end);
+    fatal_if(end == it->second.c_str() || *end != '\0',
+             "config key '%s': '%s' is not a number", key.c_str(),
+             it->second.c_str());
+    return v;
+}
+
+bool
+Config::getBool(const std::string &key, bool def) const
+{
+    auto it = entries_.find(key);
+    if (it == entries_.end())
+        return def;
+    const std::string &s = it->second;
+    if (s == "true" || s == "1" || s == "yes" || s == "on")
+        return true;
+    if (s == "false" || s == "0" || s == "no" || s == "off")
+        return false;
+    fatal("config key '%s': '%s' is not a boolean", key.c_str(),
+          s.c_str());
+}
+
+bool
+Config::parsePair(const std::string &token)
+{
+    auto eq = token.find('=');
+    if (eq == std::string::npos || eq == 0)
+        return false;
+    set(token.substr(0, eq), token.substr(eq + 1));
+    return true;
+}
+
+std::vector<std::string>
+Config::parseArgs(int argc, char **argv)
+{
+    std::vector<std::string> rest;
+    for (int i = 1; i < argc; ++i) {
+        std::string tok = argv[i];
+        if (!parsePair(tok))
+            rest.push_back(tok);
+    }
+    return rest;
+}
+
+void
+Config::merge(const Config &other)
+{
+    for (const auto &kv : other.entries_)
+        entries_[kv.first] = kv.second;
+}
+
+} // namespace profess

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * A small typed key-value configuration store.
+ *
+ * Examples and benchmarks accept "key=value" pairs on the command line
+ * and from PROFESS_* environment variables; components read typed
+ * values with defaults.  Unknown keys are rejected on demand so typos
+ * in experiment scripts fail loudly.
+ */
+
+#ifndef PROFESS_COMMON_CONFIG_HH
+#define PROFESS_COMMON_CONFIG_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace profess
+{
+
+/** String-keyed configuration with typed accessors. */
+class Config
+{
+  public:
+    Config() = default;
+
+    /** Set a key to a raw string value (overwrites). */
+    void set(const std::string &key, const std::string &value);
+
+    /** Convenience setters. */
+    void setInt(const std::string &key, std::int64_t v);
+    void setDouble(const std::string &key, double v);
+    void setBool(const std::string &key, bool v);
+
+    /** @return true if the key is present. */
+    bool has(const std::string &key) const;
+
+    /**
+     * Typed getters; return def when the key is absent and call
+     * fatal() when the value cannot be parsed as the requested type.
+     */
+    std::string getString(const std::string &key,
+                          const std::string &def = "") const;
+    std::int64_t getInt(const std::string &key, std::int64_t def) const;
+    std::uint64_t getUint(const std::string &key,
+                          std::uint64_t def) const;
+    double getDouble(const std::string &key, double def) const;
+    bool getBool(const std::string &key, bool def) const;
+
+    /**
+     * Parse argv-style "key=value" tokens.
+     *
+     * @param argc Argument count (argv[0] skipped).
+     * @param argv Argument vector.
+     * @return List of tokens that were not key=value pairs.
+     */
+    std::vector<std::string> parseArgs(int argc, char **argv);
+
+    /** Parse one "key=value" token; @return false if malformed. */
+    bool parsePair(const std::string &token);
+
+    /** @return all entries, sorted by key. */
+    const std::map<std::string, std::string> &entries() const
+    {
+        return entries_;
+    }
+
+    /** Merge other into this (other wins on conflicts). */
+    void merge(const Config &other);
+
+  private:
+    std::map<std::string, std::string> entries_;
+};
+
+} // namespace profess
+
+#endif // PROFESS_COMMON_CONFIG_HH

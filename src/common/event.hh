@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A single global event queue drives the whole simulation.  All
+ * components share one clock domain: the memory-controller clock
+ * (0.8 GHz by default, Table 8); faster components (cores) convert
+ * their own cycles into MC ticks.
+ *
+ * Events are arbitrary callables.  Two events scheduled for the same
+ * tick execute in scheduling order (a monotone sequence number breaks
+ * ties), which keeps simulations deterministic.
+ */
+
+#ifndef PROFESS_COMMON_EVENT_HH
+#define PROFESS_COMMON_EVENT_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace profess
+{
+
+/** Central time-ordered queue of callbacks. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** @return current simulation time in ticks. */
+    Tick now() const { return now_; }
+
+    /**
+     * Schedule a callback at an absolute tick.
+     *
+     * @param when Absolute tick, must be >= now().
+     * @param cb Callback to run.
+     */
+    void
+    schedule(Tick when, Callback cb)
+    {
+        panic_if(when < now_, "scheduling event in the past "
+                 "(when=%llu now=%llu)",
+                 static_cast<unsigned long long>(when),
+                 static_cast<unsigned long long>(now_));
+        heap_.push(Entry{when, seq_++, std::move(cb)});
+    }
+
+    /** Schedule a callback delay ticks from now. */
+    void
+    scheduleIn(Cycles delay, Callback cb)
+    {
+        schedule(now_ + delay, std::move(cb));
+    }
+
+    /** @return true if no events are pending. */
+    bool empty() const { return heap_.empty(); }
+
+    /** @return number of pending events. */
+    std::size_t size() const { return heap_.size(); }
+
+    /** @return tick of the next pending event (tickNever if none). */
+    Tick
+    nextTick() const
+    {
+        return heap_.empty() ? tickNever : heap_.top().when;
+    }
+
+    /**
+     * Pop and execute the next event, advancing time.
+     *
+     * @return false when the queue was empty.
+     */
+    bool
+    runOne()
+    {
+        if (heap_.empty())
+            return false;
+        // Move the entry out before popping so the callback can
+        // safely schedule further events.
+        Entry e = std::move(const_cast<Entry &>(heap_.top()));
+        heap_.pop();
+        now_ = e.when;
+        e.cb();
+        return true;
+    }
+
+    /**
+     * Run events until the queue drains or a stop predicate holds.
+     *
+     * @param stop Checked after each event; empty means "never stop".
+     * @return Number of events executed.
+     */
+    std::uint64_t
+    run(const std::function<bool()> &stop = {})
+    {
+        std::uint64_t n = 0;
+        while (runOne()) {
+            ++n;
+            if (stop && stop())
+                break;
+        }
+        return n;
+    }
+
+    /** Run events with when <= limit. @return events executed. */
+    std::uint64_t
+    runUntil(Tick limit)
+    {
+        std::uint64_t n = 0;
+        while (!heap_.empty() && heap_.top().when <= limit && runOne())
+            ++n;
+        if (now_ < limit && heap_.empty())
+            now_ = limit;
+        return n;
+    }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+
+        bool
+        operator>(const Entry &o) const
+        {
+            return when != o.when ? when > o.when : seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>>
+        heap_;
+    Tick now_ = 0;
+    std::uint64_t seq_ = 0;
+};
+
+} // namespace profess
+
+#endif // PROFESS_COMMON_EVENT_HH

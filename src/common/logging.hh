@@ -1,0 +1,64 @@
+/**
+ * @file
+ * gem5-style status and error reporting.
+ *
+ * panic()  - internal invariant violated (simulator bug); aborts.
+ * fatal()  - unrecoverable user error (bad configuration); exits(1).
+ * warn()   - something questionable happened but simulation continues.
+ * inform() - purely informational status output.
+ */
+
+#ifndef PROFESS_COMMON_LOGGING_HH
+#define PROFESS_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace profess
+{
+
+namespace logging
+{
+
+/** Global verbosity: 0 = errors only, 1 = warn, 2 = inform (default). */
+extern int verbosity;
+
+[[noreturn]] void panicImpl(const char *file, int line, const char *fmt,
+                            ...) __attribute__((format(printf, 3, 4)));
+[[noreturn]] void fatalImpl(const char *file, int line, const char *fmt,
+                            ...) __attribute__((format(printf, 3, 4)));
+void warnImpl(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+void informImpl(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace logging
+
+#define panic(...) \
+    ::profess::logging::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define fatal(...) \
+    ::profess::logging::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define warn(...) ::profess::logging::warnImpl(__VA_ARGS__)
+#define inform(...) ::profess::logging::informImpl(__VA_ARGS__)
+
+/**
+ * panic_if(cond, ...) aborts with a message when cond holds; used to
+ * check internal invariants that should never fail.
+ */
+#define panic_if(cond, ...)                                            \
+    do {                                                               \
+        if (cond)                                                      \
+            panic(__VA_ARGS__);                                        \
+    } while (0)
+
+#define fatal_if(cond, ...)                                            \
+    do {                                                               \
+        if (cond)                                                      \
+            fatal(__VA_ARGS__);                                        \
+    } while (0)
+
+} // namespace profess
+
+#endif // PROFESS_COMMON_LOGGING_HH

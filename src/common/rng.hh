@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * A small PCG32 implementation (O'Neill, pcg-random.org) so that every
+ * simulation is reproducible from a seed, independent of the standard
+ * library implementation.  Each workload program instance owns its own
+ * stream, so multi-program workloads are order-independent.
+ */
+
+#ifndef PROFESS_COMMON_RNG_HH
+#define PROFESS_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace profess
+{
+
+/** PCG32 pseudo-random generator: 64-bit state, 32-bit output. */
+class Rng
+{
+  public:
+    /**
+     * @param seed Initial state seed.
+     * @param stream Stream selector; different streams are independent.
+     */
+    explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bull,
+                 std::uint64_t stream = 0xda3e39cb94b95bdbull)
+    {
+        inc_ = (stream << 1u) | 1u;
+        state_ = 0u;
+        next();
+        state_ += seed;
+        next();
+    }
+
+    /** @return next raw 32-bit value. */
+    std::uint32_t
+    next()
+    {
+        std::uint64_t old = state_;
+        state_ = old * 6364136223846793005ull + inc_;
+        std::uint32_t xorshifted =
+            static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+        std::uint32_t rot = static_cast<std::uint32_t>(old >> 59u);
+        return (xorshifted >> rot) | (xorshifted << ((-rot) & 31u));
+    }
+
+    /** @return uniform integer in [0, bound); bound must be > 0. */
+    std::uint32_t
+    below(std::uint32_t bound)
+    {
+        // Lemire-style rejection-free-ish bounded generation with
+        // rejection of the biased region.
+        std::uint32_t threshold = (-bound) % bound;
+        for (;;) {
+            std::uint32_t r = next();
+            if (r >= threshold)
+                return r % bound;
+        }
+    }
+
+    /** @return uniform 64-bit integer in [0, bound). */
+    std::uint64_t
+    below64(std::uint64_t bound)
+    {
+        if (bound <= 0xffffffffull)
+            return below(static_cast<std::uint32_t>(bound));
+        // Compose two 32-bit draws; slight bias is irrelevant for
+        // workload generation at these magnitudes.
+        std::uint64_t r =
+            (static_cast<std::uint64_t>(next()) << 32) | next();
+        return r % bound;
+    }
+
+    /** @return uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return next() * (1.0 / 4294967296.0);
+    }
+
+    /**
+     * Geometric inter-arrival sample.
+     *
+     * @param p Success probability per trial, 0 < p <= 1.
+     * @return Number of failures before the first success (>= 0).
+     */
+    std::uint64_t
+    geometric(double p)
+    {
+        if (p >= 1.0)
+            return 0;
+        double u = uniform();
+        // Avoid log(0).
+        if (u <= 0.0)
+            u = 1e-12;
+        double v = 1.0 - p;
+        // floor(log(u) / log(1-p))
+        double g = __builtin_log(u) / __builtin_log(v);
+        return g < 0 ? 0 : static_cast<std::uint64_t>(g);
+    }
+
+  private:
+    std::uint64_t state_;
+    std::uint64_t inc_;
+};
+
+} // namespace profess
+
+#endif // PROFESS_COMMON_RNG_HH

@@ -1,0 +1,77 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace profess
+{
+
+double
+Histogram::quantile(double q) const
+{
+    std::uint64_t total = stat_.count();
+    if (total == 0)
+        return 0.0;
+    auto target = static_cast<std::uint64_t>(q * total);
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        seen += buckets_[i];
+        if (seen > target)
+            return width_ * static_cast<double>(i + 1);
+    }
+    return width_ * static_cast<double>(buckets_.size());
+}
+
+namespace
+{
+
+/** Linear-interpolated order statistic of a sorted series. */
+double
+interpQuantile(const std::vector<double> &sorted, double q)
+{
+    if (sorted.empty())
+        return 0.0;
+    if (sorted.size() == 1)
+        return sorted[0];
+    double pos = q * static_cast<double>(sorted.size() - 1);
+    auto lo = static_cast<std::size_t>(pos);
+    double frac = pos - static_cast<double>(lo);
+    if (lo + 1 >= sorted.size())
+        return sorted.back();
+    return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+} // anonymous namespace
+
+double
+geometricMean(const std::vector<double> &data)
+{
+    if (data.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double x : data) {
+        panic_if(x <= 0.0, "geometricMean requires positive data");
+        acc += std::log(x);
+    }
+    return std::exp(acc / static_cast<double>(data.size()));
+}
+
+BoxSummary
+boxSummary(std::vector<double> data)
+{
+    BoxSummary s;
+    if (data.empty())
+        return s;
+    std::sort(data.begin(), data.end());
+    s.n = data.size();
+    s.min = data.front();
+    s.max = data.back();
+    s.q1 = interpQuantile(data, 0.25);
+    s.median = interpQuantile(data, 0.50);
+    s.q3 = interpQuantile(data, 0.75);
+    s.gmean = geometricMean(data);
+    return s;
+}
+
+} // namespace profess

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Fundamental scalar types used across the ProFess simulator.
+ *
+ * The conventions follow the paper's system model (Table 8):
+ * addresses are byte addresses in a flat original physical address
+ * space; time is kept in memory-controller cycles (0.8 GHz by
+ * default) and converted from nanoseconds at configuration time.
+ */
+
+#ifndef PROFESS_COMMON_TYPES_HH
+#define PROFESS_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace profess
+{
+
+/** Byte address in a physical or virtual address space. */
+using Addr = std::uint64_t;
+
+/** Simulation time in memory-controller clock cycles. */
+using Tick = std::uint64_t;
+
+/** Number of clock cycles (duration). */
+using Cycles = std::uint64_t;
+
+/** Identifier of a program (equivalently, a core; see Sec. 3.1.1). */
+using ProgramId = std::int32_t;
+
+/** Identifier of a memory channel. */
+using ChannelId = std::uint32_t;
+
+/** Sentinel for "no program". */
+constexpr ProgramId invalidProgram = -1;
+
+/** Sentinel tick meaning "never" / unscheduled. */
+constexpr Tick tickNever = std::numeric_limits<Tick>::max();
+
+/** Common power-of-two sizes. */
+constexpr std::uint64_t KiB = 1024ull;
+constexpr std::uint64_t MiB = 1024ull * KiB;
+constexpr std::uint64_t GiB = 1024ull * MiB;
+
+/**
+ * Integer ceiling division.
+ *
+ * @param a Dividend.
+ * @param b Divisor, must be non-zero.
+ * @return ceil(a / b).
+ */
+constexpr std::uint64_t
+ceilDiv(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** @return true if x is a power of two (and non-zero). */
+constexpr bool
+isPowerOfTwo(std::uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** @return floor(log2(x)); x must be non-zero. */
+constexpr unsigned
+floorLog2(std::uint64_t x)
+{
+    unsigned l = 0;
+    while (x >>= 1)
+        ++l;
+    return l;
+}
+
+/** @return ceil(log2(x)); x must be non-zero. */
+constexpr unsigned
+ceilLog2(std::uint64_t x)
+{
+    return isPowerOfTwo(x) ? floorLog2(x) : floorLog2(x) + 1;
+}
+
+} // namespace profess
+
+#endif // PROFESS_COMMON_TYPES_HH

@@ -1,0 +1,223 @@
+#include "core/mdm.hh"
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace profess
+{
+
+namespace core
+{
+
+Mdm::Mdm(const Params &p) : params_(p), progs_(p.numPrograms)
+{
+    fatal_if(p.numPrograms == 0, "MDM needs at least one program");
+    fatal_if(p.phaseUpdates == 0 || p.recomputeEvery == 0,
+             "phase parameters must be positive");
+    for (auto &st : progs_) {
+        for (unsigned q = 0; q < numQacValues; ++q)
+            st.expCntReg[q] = p.initialExpCnt;
+    }
+}
+
+Mdm::ProgState &
+Mdm::state(ProgramId p)
+{
+    panic_if(p < 0 || static_cast<unsigned>(p) >= progs_.size(),
+             "bad program id %d", p);
+    return progs_[static_cast<unsigned>(p)];
+}
+
+const Mdm::ProgState &
+Mdm::state(ProgramId p) const
+{
+    panic_if(p < 0 || static_cast<unsigned>(p) >= progs_.size(),
+             "bad program id %d", p);
+    return progs_[static_cast<unsigned>(p)];
+}
+
+std::uint8_t
+Mdm::recordEviction(ProgramId owner, std::uint8_t q_i,
+                    unsigned count)
+{
+    panic_if(count == 0, "eviction update with zero count");
+    panic_if(q_i >= numQacValues, "bad q_i %u", q_i);
+    std::uint8_t q_e = quantizeQac(count);
+    ProgState &st = state(owner);
+
+    st.accumCnt[q_e] += static_cast<double>(count);
+    ++st.numQSumI[q_e];
+    ++st.numQ[q_i][q_e];
+    ++st.numQSumE[q_i];
+    ++st.totalUpdates;
+
+    // Phase machinery (Sec. 3.2.2): observation accumulates without
+    // refreshing the registered values; estimation refreshes them
+    // every recomputeEvery updates; counters reset when a new
+    // observation phase begins.
+    ++st.phaseUpdateCount;
+    if (st.observing) {
+        if (st.phaseUpdateCount >= params_.phaseUpdates) {
+            st.observing = false;
+            st.phaseUpdateCount = 0;
+        }
+    } else {
+        if (st.phaseUpdateCount % params_.recomputeEvery == 0)
+            recompute(st);
+        if (st.phaseUpdateCount >= params_.phaseUpdates) {
+            st.observing = true;
+            st.phaseUpdateCount = 0;
+            for (unsigned q = 0; q < numQacValues; ++q) {
+                st.accumCnt[q] = 0.0;
+                st.numQSumI[q] = 0;
+                st.numQSumE[q] = 0;
+                for (unsigned e = 0; e < numQacValues; ++e)
+                    st.numQ[q][e] = 0;
+            }
+        }
+    }
+    return q_e;
+}
+
+void
+Mdm::recompute(ProgState &st) const
+{
+    // Valid q_E values are 1..3 (q_E = 0 cannot occur, Sec. 3.2.2).
+    constexpr unsigned num_q_e = numQacValues - 1;
+    for (unsigned q_e = 1; q_e < numQacValues; ++q_e) {
+        st.avgCntReg[q_e] =
+            st.numQSumI[q_e] > 0
+                ? st.accumCnt[q_e] /
+                      static_cast<double>(st.numQSumI[q_e])
+                : 0.0;
+    }
+    for (unsigned q_i = 0; q_i < numQacValues; ++q_i) {
+        double exp = 0.0;
+        for (unsigned q_e = 1; q_e < numQacValues; ++q_e) {
+            double p =
+                (static_cast<double>(st.numQ[q_i][q_e]) + 1.0) /
+                (static_cast<double>(st.numQSumE[q_i]) + num_q_e);
+            st.pReg[q_i][q_e] = p;
+            exp += st.avgCntReg[q_e] * p;
+        }
+        st.expCntReg[q_i] = exp;
+    }
+}
+
+double
+Mdm::expCnt(ProgramId p, std::uint8_t q_i) const
+{
+    panic_if(q_i >= numQacValues, "bad q_i %u", q_i);
+    return state(p).expCntReg[q_i];
+}
+
+policy::Decision
+Mdm::decide(const policy::AccessInfo &info, bool treat_vacant) const
+{
+    auto tally = [this](DecidePath p) {
+        ++pathCounts_[static_cast<unsigned>(p)];
+    };
+    const hybrid::StcMeta &meta = *info.meta;
+    double rem_m2 =
+        remaining(info.accessor, meta.qacAtInsert[info.slot],
+                  meta.ac[info.slot]);
+
+    // Top-level condition: enough predicted remaining accesses to
+    // amortize the swap at all.
+    if (rem_m2 < static_cast<double>(params_.minBenefit)) {
+        tally(DecidePath::NoBenefit);
+        static int debug_left =
+            std::getenv("PROFESS_MDM_DEBUG") ? 40 : 0;
+        if (debug_left > 0 && info.now > 2000000) {
+            --debug_left;
+            std::fprintf(stderr,
+                         "[mdm] reject grp=%llu slot=%u qI=%u ac=%u "
+                         "exp=%.1f m1ac=%u\n",
+                         (unsigned long long)info.group, info.slot,
+                         meta.qacAtInsert[info.slot],
+                         meta.ac[info.slot],
+                         expCnt(info.accessor,
+                                meta.qacAtInsert[info.slot]),
+                         meta.ac[info.m1Slot]);
+        }
+        return policy::Decision::NoSwap;
+    }
+
+    // (a) M1 vacant (or ProFess Case 1 forcing vacancy).
+    if (treat_vacant || info.m1Owner == invalidProgram) {
+        tally(DecidePath::Vacant);
+        return policy::Decision::Swap;
+    }
+
+    unsigned m1_cnt = meta.ac[info.m1Slot];
+    if (m1_cnt == 0) {
+        // (b) M1 occupied but unaccessed while another block of the
+        // group is being accessed.  An idle counter right after an
+        // ST-entry (re)insertion is weak evidence, so an incumbent
+        // whose last residency was hot (QAC >= 2) is judged by its
+        // prediction instead of being displaced outright.
+        if (!meta.anyOtherAccessed(hybrid::maxSlots, info.m1Slot)) {
+            tally(DecidePath::Rejected);
+            return policy::Decision::NoSwap;
+        }
+        if (meta.depleted(info.m1Slot) ||
+            meta.qacAtInsert[info.m1Slot] < 2) {
+            tally(DecidePath::IdleM1);
+            return policy::Decision::Swap;
+        }
+        // Hot history but no observed accesses this residency: the
+        // incumbent is mid-lifecycle on average, so charge it half
+        // its expectation.
+        double rem_idle =
+            0.5 * expCnt(info.m1Owner,
+                         meta.qacAtInsert[info.m1Slot]);
+        if (rem_m2 - rem_idle >=
+            static_cast<double>(params_.minBenefit)) {
+            tally(DecidePath::IdleM1);
+            return policy::Decision::Swap;
+        }
+        tally(DecidePath::Rejected);
+        return policy::Decision::NoSwap;
+    }
+
+    // (c) both blocks active: individual cost-benefit analysis.
+    double rem_m1 = remaining(info.m1Owner,
+                              meta.qacAtInsert[info.m1Slot], m1_cnt);
+    if (rem_m1 <= 0.0) {
+        tally(DecidePath::Depleted);
+        return policy::Decision::Swap; // (c.i)
+    }
+    if (rem_m2 - rem_m1 >= static_cast<double>(params_.minBenefit)) {
+        tally(DecidePath::NetBenefit);
+        return policy::Decision::Swap; // (c.ii)
+    }
+    tally(DecidePath::Rejected);
+    return policy::Decision::NoSwap;
+}
+
+std::uint64_t
+Mdm::updates(ProgramId p) const
+{
+    return state(p).totalUpdates;
+}
+
+double
+Mdm::avgCnt(ProgramId p, std::uint8_t q_e) const
+{
+    panic_if(q_e >= numQacValues, "bad q_e %u", q_e);
+    return state(p).avgCntReg[q_e];
+}
+
+double
+Mdm::transitionProb(ProgramId p, std::uint8_t q_i,
+                    std::uint8_t q_e) const
+{
+    panic_if(q_i >= numQacValues || q_e >= numQacValues,
+             "bad transition (%u,%u)", q_i, q_e);
+    return state(p).pReg[q_i][q_e];
+}
+
+} // namespace core
+
+} // namespace profess

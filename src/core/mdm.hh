@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Migration-Decision Mechanism (MDM, Sec. 3.2).
+ *
+ * MDM performs an individual cost-benefit analysis for each pair of
+ * blocks considered for a swap.  Per program and per QAC value
+ * (Table 5), it learns the expected number of accesses a block will
+ * receive during one residency of its ST entry in the STC:
+ *
+ *   exp_cnt(qI) = sum_{qE} avg_cnt(qE) * P(qE | qI)          (Eq. 5)
+ *   avg_cnt(qE) = accum_cnt(qE) / num_q_sum_I(qE)            (Eq. 6)
+ *   P(qE|qI)    = (num_q(qI,qE) + 1) / (num_q_sum_E(qI) + 3) (Eq. 7)
+ *
+ * and predicts each block's remaining accesses as
+ * exp_cnt(qI) - current count (Eq. 8).  A promotion happens only if
+ * the predicted remaining accesses of the M2 block exceed those of
+ * the M1 block by at least min_benefit (= 8, derived from the swap
+ * cost like PoM's K, Sec. 4.1).
+ *
+ * Statistics update at ST-entry evictions; the derived avg/P/exp
+ * values refresh in phases: a 1K-update observation phase (counters
+ * reset at its start, no recomputation) alternating with a 1K-update
+ * estimation phase recomputing every 100 updates (Sec. 3.2.2).
+ */
+
+#ifndef PROFESS_CORE_MDM_HH
+#define PROFESS_CORE_MDM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "policy/policy.hh"
+
+namespace profess
+{
+
+namespace core
+{
+
+/** Number of QAC values (Table 5). */
+constexpr unsigned numQacValues = 4;
+
+/** Quantize an access count into a QAC value (Table 5). */
+constexpr std::uint8_t
+quantizeQac(unsigned count)
+{
+    if (count == 0)
+        return 0;
+    if (count < 8)
+        return 1;
+    if (count < 32)
+        return 2;
+    return 3;
+}
+
+/** The prediction engine (per-program statistics, Table 6). */
+class Mdm
+{
+  public:
+    struct Params
+    {
+        unsigned numPrograms = 4;
+        unsigned minBenefit = 8;
+        /** Paper: 1K updates per phase, recompute every 100; scaled
+         *  down with the 1/100 run length (DESIGN.md Sec. 2) so the
+         *  mechanism sees the same number of phases per run. */
+        std::uint64_t phaseUpdates = 1024;
+        std::uint64_t recomputeEvery = 100;
+        /** exp_cnt before the first estimation phase completes.
+         *  Conservative (0): no promotions until real statistics
+         *  exist; the counters accumulate from the start either
+         *  way, so predictions activate within ~1K evictions. */
+        double initialExpCnt = 0.0;
+    };
+
+    explicit Mdm(const Params &p);
+
+    /**
+     * Fold a block's final access count into the statistics
+     * (invoked at ST-entry eviction for each block with a non-zero
+     * count, Sec. 3.2.2).
+     *
+     * @param owner Owning program.
+     * @param q_i QAC at insertion of the block's ST entry.
+     * @param count Access count at eviction (> 0).
+     * @return The block's new QAC value (q_E).
+     */
+    std::uint8_t recordEviction(ProgramId owner, std::uint8_t q_i,
+                                unsigned count);
+
+    /** @return exp_cnt(qI) of a program (Eq. 5). */
+    double expCnt(ProgramId p, std::uint8_t q_i) const;
+
+    /** @return predicted remaining accesses (Eq. 8). */
+    double
+    remaining(ProgramId p, std::uint8_t q_i, unsigned count) const
+    {
+        return expCnt(p, q_i) - static_cast<double>(count);
+    }
+
+    /** Which branch of Sec. 3.2.3 decided an M2 access. */
+    enum class DecidePath : unsigned
+    {
+        NoBenefit = 0, ///< rem_M2 < min_benefit
+        Vacant,        ///< case (a)
+        IdleM1,        ///< case (b)
+        Depleted,      ///< case (c.i): rem_M1 <= 0
+        NetBenefit,    ///< case (c.ii)
+        Rejected,      ///< no condition held
+        NumPaths
+    };
+
+    /**
+     * The migration decision of Sec. 3.2.3 for an M2 access.
+     *
+     * @param info Access descriptor (counters already bumped).
+     * @param treat_vacant Ignore the M1 block (ProFess Case 1).
+     */
+    policy::Decision decide(const policy::AccessInfo &info,
+                            bool treat_vacant) const;
+
+    /** @return times each decision path was taken. */
+    std::uint64_t
+    pathCount(DecidePath p) const
+    {
+        return pathCounts_[static_cast<unsigned>(p)];
+    }
+
+    /** @return min_benefit in force. */
+    unsigned minBenefit() const { return params_.minBenefit; }
+
+    /** @return statistics updates recorded for a program. */
+    std::uint64_t updates(ProgramId p) const;
+
+    /** @return avg_cnt(qE) (Eq. 6) as currently registered. */
+    double avgCnt(ProgramId p, std::uint8_t q_e) const;
+
+    /** @return P(qE | qI) (Eq. 7) as currently registered. */
+    double transitionProb(ProgramId p, std::uint8_t q_i,
+                          std::uint8_t q_e) const;
+
+  private:
+    /** Table 6 counters and registered values of one program. */
+    struct ProgState
+    {
+        double accumCnt[numQacValues] = {};
+        std::uint64_t numQSumI[numQacValues] = {};
+        std::uint64_t numQ[numQacValues][numQacValues] = {};
+        std::uint64_t numQSumE[numQacValues] = {};
+
+        double avgCntReg[numQacValues] = {};
+        double pReg[numQacValues][numQacValues] = {};
+        double expCntReg[numQacValues] = {};
+
+        std::uint64_t phaseUpdateCount = 0;
+        std::uint64_t totalUpdates = 0;
+        bool observing = true;
+    };
+
+    void recompute(ProgState &st) const;
+    ProgState &state(ProgramId p);
+    const ProgState &state(ProgramId p) const;
+
+    Params params_;
+    std::vector<ProgState> progs_;
+    mutable std::uint64_t
+        pathCounts_[static_cast<unsigned>(DecidePath::NumPaths)] = {};
+};
+
+} // namespace core
+
+} // namespace profess
+
+#endif // PROFESS_CORE_MDM_HH

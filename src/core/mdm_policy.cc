@@ -1,0 +1,32 @@
+#include "core/mdm_policy.hh"
+
+namespace profess
+{
+
+namespace core
+{
+
+void
+applyEvictionUpdates(Mdm &mdm, const hybrid::HybridLayout &layout,
+                     const os::BlockOwnerOracle &oracle,
+                     std::uint64_t group,
+                     const hybrid::StcMeta &meta,
+                     hybrid::StEntry &entry)
+{
+    for (unsigned s = 0; s < layout.slotsPerGroup; ++s) {
+        unsigned count = meta.ac[s];
+        if (count == 0)
+            continue; // QAC not updated for unaccessed blocks
+        ProgramId owner =
+            oracle.ownerOfBlock(layout.blockIndex(group, s));
+        if (owner == invalidProgram)
+            continue;
+        std::uint8_t q_e =
+            mdm.recordEviction(owner, meta.qacAtInsert[s], count);
+        entry.qac[s] = q_e;
+    }
+}
+
+} // namespace core
+
+} // namespace profess

@@ -1,0 +1,59 @@
+#include "core/profess.hh"
+
+namespace profess
+{
+
+namespace core
+{
+
+ProfessPolicy::GuidanceCase
+ProfessPolicy::classify(const policy::AccessInfo &info) const
+{
+    ProgramId c1 = info.m1Owner;   // program owning the M1 block
+    ProgramId c2 = info.accessor;  // program accessing M2
+    if (c1 == invalidProgram || c1 == c2)
+        return GuidanceCase::SameProgram;
+
+    double t = params_.factorThreshold;
+    double tp = params_.productThreshold;
+    double sfa1 = rsm_.sfA(c1), sfa2 = rsm_.sfA(c2);
+    double sfb1 = rsm_.sfB(c1), sfb2 = rsm_.sfB(c2);
+
+    bool a1_lt_a2 = sfa1 * t < sfa2;
+    bool a1_gt_a2 = sfa1 > sfa2 * t;
+    bool b1_lt_b2 = sfb1 * t < sfb2;
+    bool b1_gt_b2 = sfb1 > sfb2 * t;
+
+    if (a1_lt_a2 && b1_lt_b2)
+        return GuidanceCase::Case1;
+    if (a1_gt_a2 && b1_gt_b2)
+        return GuidanceCase::Case2;
+    if (a1_lt_a2 && b1_gt_b2 && sfa1 * sfb1 > sfa2 * sfb2 * tp)
+        return GuidanceCase::Case3;
+    return GuidanceCase::Default;
+}
+
+policy::Decision
+ProfessPolicy::onM2Access(const policy::AccessInfo &info)
+{
+    GuidanceCase c = classify(info);
+    ++caseCounts_[static_cast<unsigned>(c)];
+    switch (c) {
+      case GuidanceCase::SameProgram:
+      case GuidanceCase::Default:
+        return mdm_.decide(info, false);
+      case GuidanceCase::Case1:
+        // Help c2 as if it ran alone: ignore the M1 block, but
+        // still consult MDM about the benefit (RSM is agnostic to
+        // the M1/M2 characteristics, Sec. 3.3).
+        return mdm_.decide(info, true);
+      case GuidanceCase::Case2:
+      case GuidanceCase::Case3:
+        return policy::Decision::NoSwap;
+    }
+    panic("unreachable");
+}
+
+} // namespace core
+
+} // namespace profess

@@ -1,0 +1,160 @@
+#include "core/rsm.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace profess
+{
+
+namespace core
+{
+
+Rsm::Rsm(const Params &p) : params_(p), progs_(p.numPrograms)
+{
+    fatal_if(p.numPrograms == 0, "RSM needs at least one program");
+    fatal_if(p.numRegions <= p.numPrograms,
+             "need more regions than programs");
+    fatal_if(p.sampleRequests == 0, "Msamp must be positive");
+    for (auto &st : progs_) {
+        for (auto &sm : st.sm)
+            sm = ExpSmoother(p.alpha);
+        if (p.perRegionStats)
+            st.perRegion.assign(p.numRegions, 0);
+    }
+}
+
+Rsm::ProgState &
+Rsm::state(ProgramId p)
+{
+    panic_if(p < 0 || static_cast<unsigned>(p) >= progs_.size(),
+             "bad program id %d", p);
+    return progs_[static_cast<unsigned>(p)];
+}
+
+const Rsm::ProgState &
+Rsm::state(ProgramId p) const
+{
+    panic_if(p < 0 || static_cast<unsigned>(p) >= progs_.size(),
+             "bad program id %d", p);
+    return progs_[static_cast<unsigned>(p)];
+}
+
+void
+Rsm::onServed(ProgramId p, unsigned region, bool from_m1)
+{
+    ProgState &st = state(p);
+    if (region == static_cast<unsigned>(p)) {
+        // The program's own private region.
+        ++st.reqTotalP;
+        if (from_m1)
+            ++st.reqM1P;
+    } else if (region < params_.numPrograms) {
+        // Another program's private region: the OS never allocates
+        // foreign frames there (Sec. 3.1.1).
+        panic("request of program %d in private region %u", p,
+              region);
+    } else {
+        ++st.reqTotalS;
+        if (from_m1)
+            ++st.reqM1S;
+    }
+    if (params_.perRegionStats)
+        ++st.perRegion[region];
+
+    if (++st.periodServed >= params_.sampleRequests)
+        endPeriod(st);
+}
+
+void
+Rsm::onSwap(ProgramId owner_promoted, ProgramId owner_demoted,
+            bool private_region)
+{
+    if (private_region)
+        return; // Sec. 3.1.2: swaps in private regions not counted
+    bool self = owner_promoted == owner_demoted;
+    if (owner_promoted != invalidProgram) {
+        ProgState &st = state(owner_promoted);
+        ++st.swapTotal;
+        if (self)
+            ++st.swapSelf;
+    }
+    if (owner_demoted != invalidProgram && !self) {
+        ProgState &st = state(owner_demoted);
+        ++st.swapTotal;
+    }
+}
+
+void
+Rsm::endPeriod(ProgState &st)
+{
+    // Exponential smoothing of the counters, each incremented by one
+    // to avoid zeros (Sec. 3.1.3).
+    double a_m1p = st.sm[0].add(static_cast<double>(st.reqM1P + 1));
+    double a_totp =
+        st.sm[1].add(static_cast<double>(st.reqTotalP + 1));
+    double a_m1s = st.sm[2].add(static_cast<double>(st.reqM1S + 1));
+    double a_tots =
+        st.sm[3].add(static_cast<double>(st.reqTotalS + 1));
+    double a_self =
+        st.sm[4].add(static_cast<double>(st.swapSelf + 1));
+    double a_total =
+        st.sm[5].add(static_cast<double>(st.swapTotal + 1));
+
+    st.sfA = (a_m1p / a_totp) / (a_m1s / a_tots);
+    st.sfB = a_total / a_self; // 1 / (self / total)
+
+    if (params_.perRegionStats) {
+        PeriodSample s;
+        double raw_p =
+            static_cast<double>(st.reqM1P + 1) /
+            static_cast<double>(st.reqTotalP + 1);
+        double raw_s =
+            static_cast<double>(st.reqM1S + 1) /
+            static_cast<double>(st.reqTotalS + 1);
+        s.rawSfA = raw_p / raw_s;
+        s.avgSfA = st.sfA;
+        RunningStat rs;
+        for (std::uint64_t c : st.perRegion)
+            rs.add(static_cast<double>(c));
+        s.reqStdPct = rs.mean() > 0.0
+                          ? 100.0 * rs.stddev() / rs.mean()
+                          : 0.0;
+        st.hist.push_back(s);
+        std::fill(st.perRegion.begin(), st.perRegion.end(), 0);
+    }
+
+    st.reqM1P = st.reqTotalP = 0;
+    st.reqM1S = st.reqTotalS = 0;
+    st.swapSelf = st.swapTotal = 0;
+    st.periodServed = 0;
+    ++st.periodCount;
+}
+
+double
+Rsm::sfA(ProgramId p) const
+{
+    return state(p).sfA;
+}
+
+double
+Rsm::sfB(ProgramId p) const
+{
+    return state(p).sfB;
+}
+
+std::uint64_t
+Rsm::periods(ProgramId p) const
+{
+    return state(p).periodCount;
+}
+
+const std::vector<Rsm::PeriodSample> &
+Rsm::history(ProgramId p) const
+{
+    return state(p).hist;
+}
+
+} // namespace core
+
+} // namespace profess

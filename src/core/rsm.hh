@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Relative-Slowdown Monitor (RSM, Sec. 3.1).
+ *
+ * RSM compares each program's behaviour in its private region
+ * (uncontended proxy) against its behaviour in the shared regions
+ * (contended proxy) and produces two slowdown factors:
+ *
+ *   SF_A = (reqM1P / reqTotalP) / (reqM1S / reqTotalS)      (Eq. 2)
+ *   SF_B = 1 / (swapSelf / swapTotal)                       (Eq. 3)
+ *
+ * recomputed every sampling period of Msamp served requests per
+ * program (128K by default), with simple exponential smoothing
+ * (alpha = 0.125) applied to the counters; each counter is
+ * incremented by one before smoothing to avoid zeros (Sec. 3.1.3).
+ * Swaps inside private regions are not counted.
+ *
+ * Convention (matching os::PageAllocator): region i < numPrograms is
+ * the private region of program i; all other regions are shared.
+ */
+
+#ifndef PROFESS_CORE_RSM_HH
+#define PROFESS_CORE_RSM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace profess
+{
+
+namespace core
+{
+
+/** The monitor proper. */
+class Rsm
+{
+  public:
+    struct Params
+    {
+        unsigned numPrograms = 4;
+        unsigned numRegions = 128;
+        std::uint64_t sampleRequests = 128 * 1024; ///< Msamp
+        double alpha = 0.125;
+        bool perRegionStats = false; ///< Table 4 instrumentation
+    };
+
+    /** Snapshot taken at the end of each sampling period. */
+    struct PeriodSample
+    {
+        double rawSfA;    ///< SF_A from raw counters
+        double avgSfA;    ///< SF_A from smoothed counters
+        double reqStdPct; ///< per-region request stddev, % of mean
+    };
+
+    explicit Rsm(const Params &p);
+
+    /**
+     * Account one served request.
+     *
+     * @param p Program.
+     * @param region RSM region of the accessed swap group.
+     * @param from_m1 Served from M1.
+     */
+    void onServed(ProgramId p, unsigned region, bool from_m1);
+
+    /**
+     * Account one swap (Table 3 swap counters).
+     *
+     * @param owner_promoted Owner of the promoted block.
+     * @param owner_demoted Owner of the demoted block (invalid if
+     *        the M1 location was vacant).
+     * @param private_region Swap in a private region (not counted).
+     */
+    void onSwap(ProgramId owner_promoted, ProgramId owner_demoted,
+                bool private_region);
+
+    /** @return current SF_A of a program (1.0 before any sample). */
+    double sfA(ProgramId p) const;
+
+    /** @return current SF_B of a program (1.0 before any sample). */
+    double sfB(ProgramId p) const;
+
+    /** @return completed sampling periods of a program. */
+    std::uint64_t periods(ProgramId p) const;
+
+    /** @return per-period history (perRegionStats mode only). */
+    const std::vector<PeriodSample> &history(ProgramId p) const;
+
+    /** @return the configuration. */
+    const Params &params() const { return params_; }
+
+  private:
+    /** Per-program counters (Table 3) and smoothers. */
+    struct ProgState
+    {
+        std::uint64_t reqM1P = 0, reqTotalP = 0;
+        std::uint64_t reqM1S = 0, reqTotalS = 0;
+        std::uint64_t swapSelf = 0, swapTotal = 0;
+        std::uint64_t periodServed = 0;
+        std::uint64_t periodCount = 0;
+        ExpSmoother sm[6]; ///< one per Table 3 counter
+        double sfA = 1.0, sfB = 1.0;
+        std::vector<std::uint64_t> perRegion;
+        std::vector<PeriodSample> hist;
+    };
+
+    void endPeriod(ProgState &st);
+    ProgState &state(ProgramId p);
+    const ProgState &state(ProgramId p) const;
+
+    Params params_;
+    std::vector<ProgState> progs_;
+};
+
+} // namespace core
+
+} // namespace profess
+
+#endif // PROFESS_CORE_RSM_HH

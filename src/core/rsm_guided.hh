@@ -1,0 +1,149 @@
+/**
+ * @file
+ * RSM guidance wrapped around an arbitrary migration policy.
+ *
+ * The paper notes (Sec. 6) that RSM merely guides migration
+ * decisions and "can be integrated with other migration algorithms
+ * instead of MDM".  This wrapper applies the Table 7 cases to any
+ * inner policy: Case 1 forces the swap (aggressive help - inner
+ * policies have no notion of a vacant M1, so help is maximal),
+ * Cases 2 and 3 prohibit it, and everything else defers to the
+ * inner policy.  Used by the rsm-pom ablation benchmark.
+ */
+
+#ifndef PROFESS_CORE_RSM_GUIDED_HH
+#define PROFESS_CORE_RSM_GUIDED_HH
+
+#include <memory>
+#include <string>
+
+#include "core/rsm.hh"
+#include "policy/policy.hh"
+
+namespace profess
+{
+
+namespace core
+{
+
+/** RSM-guided wrapper policy. */
+class RsmGuidedPolicy : public policy::MigrationPolicy
+{
+  public:
+    RsmGuidedPolicy(std::unique_ptr<policy::MigrationPolicy> inner,
+                    const Rsm::Params &rsm_params,
+                    double factor_threshold = 1.0 + 1.0 / 32.0,
+                    double product_threshold = 1.0 + 1.0 / 16.0)
+        : inner_(std::move(inner)), rsm_(rsm_params),
+          factorThreshold_(factor_threshold),
+          productThreshold_(product_threshold),
+          name_(std::string("rsm-") + inner_->name())
+    {
+    }
+
+    const char *name() const override { return name_.c_str(); }
+    unsigned writeWeight() const override
+    {
+        return inner_->writeWeight();
+    }
+
+    void
+    setHost(policy::SwapHost *host) override
+    {
+        policy::MigrationPolicy::setHost(host);
+        inner_->setHost(host);
+    }
+
+    policy::Decision
+    onM2Access(const policy::AccessInfo &info) override
+    {
+        ProgramId c1 = info.m1Owner;
+        ProgramId c2 = info.accessor;
+        if (c1 == invalidProgram || c1 == c2)
+            return inner_->onM2Access(info);
+
+        double t = factorThreshold_;
+        double sfa1 = rsm_.sfA(c1), sfa2 = rsm_.sfA(c2);
+        double sfb1 = rsm_.sfB(c1), sfb2 = rsm_.sfB(c2);
+        bool a1_lt = sfa1 * t < sfa2;
+        bool a1_gt = sfa1 > sfa2 * t;
+        bool b1_lt = sfb1 * t < sfb2;
+        bool b1_gt = sfb1 > sfb2 * t;
+
+        if (a1_lt && b1_lt) {
+            inner_->onM2Access(info); // keep inner state warm
+            return policy::Decision::Swap;
+        }
+        if (a1_gt && b1_gt) {
+            inner_->onM2Access(info);
+            return policy::Decision::NoSwap;
+        }
+        if (a1_lt && b1_gt &&
+            sfa1 * sfb1 > sfa2 * sfb2 * productThreshold_) {
+            inner_->onM2Access(info);
+            return policy::Decision::NoSwap;
+        }
+        return inner_->onM2Access(info);
+    }
+
+    void
+    onM1Access(const policy::AccessInfo &info) override
+    {
+        inner_->onM1Access(info);
+    }
+
+    void
+    onServed(const policy::AccessInfo &info) override
+    {
+        rsm_.onServed(info.accessor, info.region, info.fromM1);
+        inner_->onServed(info);
+    }
+
+    void
+    onStcInsert(std::uint64_t group, hybrid::StcMeta &meta) override
+    {
+        inner_->onStcInsert(group, meta);
+    }
+
+    void
+    onStcEvict(std::uint64_t group, const hybrid::StcMeta &meta,
+               hybrid::StEntry &entry) override
+    {
+        inner_->onStcEvict(group, meta, entry);
+    }
+
+    void
+    onSwapComplete(std::uint64_t group, unsigned promoted,
+                   unsigned demoted, ProgramId promoted_owner,
+                   ProgramId demoted_owner,
+                   bool private_region) override
+    {
+        rsm_.onSwap(promoted_owner, demoted_owner, private_region);
+        inner_->onSwapComplete(group, promoted, demoted,
+                               promoted_owner, demoted_owner,
+                               private_region);
+    }
+
+    Cycles periodicInterval() const override
+    {
+        return inner_->periodicInterval();
+    }
+
+    void onPeriodic() override { inner_->onPeriodic(); }
+
+    /** @return the RSM sub-component. */
+    Rsm &rsm() { return rsm_; }
+
+  private:
+    std::unique_ptr<policy::MigrationPolicy> inner_;
+    Rsm rsm_;
+    double factorThreshold_;
+    double productThreshold_;
+    std::string name_;
+};
+
+} // namespace core
+
+} // namespace profess
+
+#endif // PROFESS_CORE_RSM_GUIDED_HH

@@ -1,0 +1,65 @@
+#include "cpu/cache_filter.hh"
+
+namespace profess
+{
+
+namespace cpu
+{
+
+bool
+CacheFilterSource::next(trace::MemAccess &out)
+{
+    if (!pendingWritebacks_.empty()) {
+        out.vaddr = pendingWritebacks_.front();
+        out.isWrite = true;
+        out.instGap = 0;
+        pendingWritebacks_.pop_front();
+        return true;
+    }
+    trace::MemAccess a;
+    while (inner_.next(a)) {
+        ++consumed_;
+        gapAccum_ += a.instGap + 1;
+        cache::Hierarchy::Outcome o = hier_.access(a.vaddr,
+                                                   a.isWrite);
+        for (Addr wb : o.memWritebacks)
+            pendingWritebacks_.push_back(wb);
+        if (o.l3Miss) {
+            out.vaddr = a.vaddr;
+            out.isWrite = false; // demand fills are reads
+            out.instGap =
+                static_cast<std::uint32_t>(gapAccum_ - 1);
+            gapAccum_ = 0;
+            return true;
+        }
+        if (!pendingWritebacks_.empty()) {
+            out.vaddr = pendingWritebacks_.front();
+            out.isWrite = true;
+            out.instGap =
+                static_cast<std::uint32_t>(gapAccum_ - 1);
+            gapAccum_ = 0;
+            pendingWritebacks_.pop_front();
+            return true;
+        }
+    }
+    return false;
+}
+
+std::uint64_t
+CacheFilterSource::footprintBytes() const
+{
+    return inner_.footprintBytes();
+}
+
+void
+CacheFilterSource::reset()
+{
+    inner_.reset();
+    hier_ = cache::Hierarchy(hierParams_);
+    pendingWritebacks_.clear();
+    gapAccum_ = 0;
+}
+
+} // namespace cpu
+
+} // namespace profess

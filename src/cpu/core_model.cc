@@ -1,0 +1,164 @@
+#include "cpu/core_model.hh"
+
+#include "common/logging.hh"
+
+namespace profess
+{
+
+namespace cpu
+{
+
+CoreModel::CoreModel(EventQueue &eq, const CoreParams &params,
+                     trace::TraceSource &source, MemPort &port,
+                     ProgramId id)
+    : eq_(eq), params_(params), source_(source), port_(port), id_(id)
+{
+    fatal_if(params.width == 0 || params.robSize == 0 ||
+                 params.maxOutstanding == 0 ||
+                 params.coreCyclesPerTick == 0,
+             "bad core parameters");
+}
+
+void
+CoreModel::start()
+{
+    scheduled_ = true;
+    eq_.scheduleIn(0, [this]() {
+        scheduled_ = false;
+        advance();
+    });
+}
+
+double
+CoreModel::ipcAtQuota() const
+{
+    panic_if(!quotaReached_, "quota not reached yet");
+    std::uint64_t cycles = quotaCycles_ - warmupCycles_;
+    std::uint64_t instr = quotaInstrCount_ - warmupInstrCount_;
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(instr) /
+                             static_cast<double>(cycles);
+}
+
+void
+CoreModel::onReadComplete(std::uint64_t instr_idx)
+{
+    auto it = outstanding_.find(instr_idx);
+    panic_if(it == outstanding_.end(),
+             "completion for unknown read");
+    outstanding_.erase(it);
+    if (waiting_ && !halted_) {
+        waiting_ = false;
+        syncFrontier_ = true; // stall time elapses on wall clock
+        advance();
+    }
+}
+
+void
+CoreModel::advance()
+{
+    Tick now = eq_.now();
+    while (!halted_) {
+        if (!pendingValid_) {
+            if (!source_.next(pending_)) {
+                // Finite trace exhausted: restart it (the paper
+                // repeats programs that finish early, Sec. 4.2).
+                source_.reset();
+                ++repetitions_;
+                if (!source_.next(pending_)) {
+                    halted_ = true; // empty trace
+                    return;
+                }
+            }
+            pendingValid_ = true;
+            pendingCharged_ = false;
+        }
+
+        // Issue constraints.
+        if (outstanding_.size() >= params_.maxOutstanding) {
+            waiting_ = true;
+            return;
+        }
+        std::uint64_t issue_instr =
+            instrCount_ + pending_.instGap + 1;
+        if (!outstanding_.empty() &&
+            issue_instr > *outstanding_.begin() + params_.robSize) {
+            waiting_ = true; // ROB full behind the oldest miss
+            return;
+        }
+
+        // Account compute time for the gap plus the access itself -
+        // exactly once per access.  The frontier only snaps forward
+        // to wall-clock time when the core resumes from a stall
+        // (syncFrontier_); a self-scheduled wake-up keeps the
+        // sub-tick frontier so no phantom cycles accrue.
+        if (syncFrontier_) {
+            std::uint64_t now_cycles =
+                now * params_.coreCyclesPerTick;
+            if (frontierCycles_ < now_cycles)
+                frontierCycles_ = now_cycles;
+            syncFrontier_ = false;
+        }
+        if (!pendingCharged_) {
+            // Accumulate instructions and convert whole core cycles
+            // so sub-cycle fractions carry across accesses.
+            instrDebt_ += pending_.instGap + 1;
+            frontierCycles_ += instrDebt_ / params_.width;
+            instrDebt_ %= params_.width;
+            pendingCharged_ = true;
+        }
+        Tick issue_tick =
+            ceilDiv(frontierCycles_, params_.coreCyclesPerTick);
+        if (issue_tick > now) {
+            if (!scheduled_) {
+                scheduled_ = true;
+                eq_.schedule(issue_tick, [this]() {
+                    scheduled_ = false;
+                    advance();
+                });
+            }
+            return;
+        }
+
+        // Issue.
+        instrCount_ = issue_instr;
+        if (!warmupDone_ && instrCount_ >= params_.warmupInstr) {
+            warmupDone_ = true;
+            warmupCycles_ = frontierCycles_;
+            warmupInstrCount_ = instrCount_;
+            if (onWarmup_)
+                onWarmup_();
+            if (halted_)
+                return;
+        }
+        if (!quotaReached_ && warmupDone_ &&
+            instrCount_ >=
+                warmupInstrCount_ + params_.instrQuota) {
+            quotaReached_ = true;
+            quotaTick_ = now;
+            quotaCycles_ = frontierCycles_;
+            quotaInstrCount_ = instrCount_;
+            if (onQuota_)
+                onQuota_();
+            if (halted_)
+                return;
+        }
+        trace::MemAccess a = pending_;
+        pendingValid_ = false;
+        if (a.isWrite) {
+            ++memWrites_;
+            port_.issue(id_, a.vaddr, true, {});
+        } else {
+            ++memReads_;
+            std::uint64_t idx = instrCount_;
+            outstanding_.insert(idx);
+            port_.issue(id_, a.vaddr, false, [this, idx]() {
+                onReadComplete(idx);
+            });
+        }
+    }
+}
+
+} // namespace cpu
+
+} // namespace profess

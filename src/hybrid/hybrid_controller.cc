@@ -1,0 +1,370 @@
+#include "hybrid/hybrid_controller.hh"
+
+#include <cstring>
+
+namespace profess
+{
+
+namespace hybrid
+{
+
+HybridController::HybridController(EventQueue &eq,
+                                   mem::MemorySystem &memory,
+                                   const HybridLayout &layout,
+                                   const Params &params,
+                                   policy::MigrationPolicy &policy,
+                                   const os::BlockOwnerOracle &oracle)
+    : eq_(eq), memory_(memory), layout_(layout), params_(params),
+      policy_(policy), oracle_(oracle), st_(layout), stc_(params.stc),
+      perProgram_(params.numPrograms)
+{
+    fatal_if(layout.numChannels != memory.numChannels(),
+             "layout expects %u channels, memory has %u",
+             layout.numChannels, memory.numChannels());
+    fatal_if(layout.m1BytesRequiredPerChannel() >
+                 memory.config().m1BytesPerChannel,
+             "M1 module too small for layout");
+    fatal_if(layout.m2BytesRequiredPerChannel() >
+                 memory.config().m2BytesPerChannel,
+             "M2 module too small for layout");
+    policy_.setHost(this);
+}
+
+void
+HybridController::access(ProgramId program, Addr original_addr,
+                         bool is_write, std::function<void()> done)
+{
+    panic_if(program < 0 || static_cast<unsigned>(program) >=
+                                params_.numPrograms,
+             "bad program id %d", program);
+    std::uint64_t ob = layout_.blockOf(original_addr);
+    std::uint64_t g = layout_.groupOf(ob);
+    unsigned s = layout_.slotOf(ob);
+    PendingAccess pa{program, s, original_addr % layout_.blockBytes,
+                     is_write, std::move(done)};
+
+    auto &ps = perProgram_[static_cast<unsigned>(program)];
+    ++ps.served;
+    if (is_write)
+        ++ps.writes;
+    else
+        ++ps.reads;
+
+    if (StcMeta *m = stc_.find(g))
+        serve(g, *m, std::move(pa));
+    else
+        startFill(g, std::move(pa));
+}
+
+void
+HybridController::serve(std::uint64_t group, StcMeta &meta,
+                        PendingAccess pa)
+{
+    if (meta.swapping) {
+        swapWaiters_[group].push_back(std::move(pa));
+        return;
+    }
+
+    unsigned loc = st_.locationOf(group, pa.slot);
+    bool from_m1 = loc == 0;
+    meta.bump(pa.slot,
+              pa.isWrite ? policy_.writeWeight() : 1u);
+
+    if (from_m1) {
+        perProgram_[static_cast<unsigned>(pa.program)].servedFromM1++;
+    }
+
+    policy::AccessInfo info;
+    info.group = group;
+    info.slot = pa.slot;
+    info.m1Slot = st_.slotInM1(group);
+    info.region = layout_.regionOfGroup(group);
+    info.isWrite = pa.isWrite;
+    info.fromM1 = from_m1;
+    info.accessor = pa.program;
+    info.m1Owner =
+        oracle_.ownerOfBlock(layout_.blockIndex(group, info.m1Slot));
+    info.meta = &meta;
+    info.now = eq_.now();
+
+    policy_.onServed(info);
+
+    // Issue the 64-B device request.
+    auto req = std::make_unique<mem::Request>();
+    req->module = from_m1 ? mem::Module::M1 : mem::Module::M2;
+    req->isWrite = pa.isWrite;
+    req->cls = mem::ReqClass::Demand;
+    req->program = pa.program;
+    req->addr = (from_m1 ? layout_.m1BlockAddr(group)
+                         : layout_.m2BlockAddr(group, loc)) +
+                pa.offset;
+    if (pa.done) {
+        req->onComplete = [cb = std::move(pa.done)](mem::Request &) {
+            cb();
+        };
+    }
+    channelOf(group).push(std::move(req));
+
+    // Migration consultation (not on the critical path, Sec. 3.2.3).
+    if (!from_m1) {
+        policy::Decision d = policy_.onM2Access(info);
+        if (d == policy::Decision::Swap)
+            startSwap(group, pa.slot, info.m1Slot, meta);
+    } else {
+        policy_.onM1Access(info);
+    }
+}
+
+void
+HybridController::startFill(std::uint64_t group, PendingAccess pa)
+{
+    auto it = fillPending_.find(group);
+    if (it != fillPending_.end()) {
+        it->second.push_back(std::move(pa));
+        return;
+    }
+    fillPending_[group].push_back(std::move(pa));
+    stats_.inc("st_fills");
+
+    if (!params_.modelStTraffic) {
+        eq_.scheduleIn(0, [this, group]() { finishFill(group); });
+        return;
+    }
+    auto req = std::make_unique<mem::Request>();
+    req->module = mem::Module::M1;
+    req->isWrite = false;
+    req->cls = mem::ReqClass::St;
+    req->addr = layout_.stEntryAddr(group);
+    req->onComplete = [this, group](mem::Request &) {
+        finishFill(group);
+    };
+    channelOf(group).push(std::move(req));
+}
+
+void
+HybridController::finishFill(std::uint64_t group)
+{
+    StcEviction ev;
+    if (!stc_.insert(group, st_.entry(group).qac, ev)) {
+        // Every way of the set is pinned by an in-flight swap;
+        // retry once the channel has made progress.
+        stats_.inc("stc_insert_retries");
+        eq_.scheduleIn(mem::swapLatencyCycles(
+                           memory_.config().m1, memory_.config().m2,
+                           layout_.blockBytes) /
+                           4,
+                       [this, group]() { finishFill(group); });
+        return;
+    }
+    if (ev.valid) {
+        stats_.inc("stc_evictions");
+        policy_.onStcEvict(ev.group, ev.meta, st_.entry(ev.group));
+        if (ev.dirty) {
+            stats_.inc("st_writebacks");
+            if (params_.modelStTraffic) {
+                auto wb = std::make_unique<mem::Request>();
+                wb->module = mem::Module::M1;
+                wb->isWrite = true;
+                wb->cls = mem::ReqClass::St;
+                wb->addr = layout_.stEntryAddr(ev.group);
+                channelOf(ev.group).push(std::move(wb));
+            }
+        }
+    }
+    StcMeta *m = stc_.peek(group);
+    panic_if(m == nullptr, "fill lost its STC entry");
+    m->lastFold = eq_.now();
+    policy_.onStcInsert(group, *m);
+
+    auto it = fillPending_.find(group);
+    panic_if(it == fillPending_.end(), "fill without waiters");
+    std::vector<PendingAccess> waiters = std::move(it->second);
+    fillPending_.erase(it);
+    for (auto &pa : waiters) {
+        // Re-fetch the meta pointer: serving earlier waiters can
+        // trigger swaps but never evicts this just-inserted entry.
+        serve(group, *stc_.peek(group), std::move(pa));
+    }
+}
+
+bool
+HybridController::requestSwap(std::uint64_t group, unsigned slot)
+{
+    StcMeta *m = stc_.peek(group);
+    if (m == nullptr || m->swapping)
+        return false;
+    unsigned loc = st_.locationOf(group, slot);
+    if (loc == 0)
+        return false; // already in M1
+    startSwap(group, slot, st_.slotInM1(group), *m);
+    return true;
+}
+
+void
+HybridController::startSwap(std::uint64_t group,
+                            unsigned promote_slot, unsigned m1_slot,
+                            StcMeta &meta)
+{
+    panic_if(meta.swapping, "double swap on group %llu",
+             static_cast<unsigned long long>(group));
+    meta.swapping = true;
+    meta.dirty = true;
+    unsigned loc = st_.locationOf(group, promote_slot);
+    panic_if(loc == 0, "promoting a block already in M1");
+
+    channelOf(group).executeSwap(
+        layout_.m1BlockAddr(group), layout_.m2BlockAddr(group, loc),
+        layout_.blockBytes,
+        [this, group, promote_slot, m1_slot]() {
+            finishSwap(group, promote_slot, m1_slot);
+        },
+        policy_.slowSwap());
+}
+
+void
+HybridController::finishSwap(std::uint64_t group,
+                             unsigned promote_slot, unsigned m1_slot)
+{
+    st_.swapSlots(group, promote_slot, m1_slot);
+    ++swaps_;
+
+    StcMeta *m = stc_.peek(group);
+    panic_if(m == nullptr, "swapped group lost its STC entry");
+    m->swapping = false;
+
+    ProgramId prom_owner =
+        oracle_.ownerOfBlock(layout_.blockIndex(group, promote_slot));
+    ProgramId dem_owner =
+        oracle_.ownerOfBlock(layout_.blockIndex(group, m1_slot));
+    policy_.onSwapComplete(group, promote_slot, m1_slot, prom_owner,
+                           dem_owner, privateRegion(group));
+
+    auto it = swapWaiters_.find(group);
+    if (it != swapWaiters_.end()) {
+        std::vector<PendingAccess> waiters = std::move(it->second);
+        swapWaiters_.erase(it);
+        for (auto &pa : waiters)
+            serve(group, *stc_.peek(group), std::move(pa));
+    }
+}
+
+void
+HybridController::startPeriodic()
+{
+    if (policy_.periodicInterval() != 0 && !periodicEnabled_) {
+        periodicEnabled_ = true;
+        schedulePeriodic();
+    }
+    if (params_.statsFoldInterval != 0 && !foldEnabled_) {
+        foldEnabled_ = true;
+        scheduleStatsFold();
+    }
+}
+
+void
+HybridController::stopPeriodic()
+{
+    periodicEnabled_ = false;
+    foldEnabled_ = false;
+}
+
+void
+HybridController::scheduleStatsFold()
+{
+    eq_.scheduleIn(params_.statsFoldInterval, [this]() {
+        if (!foldEnabled_)
+            return;
+        foldLongResidents();
+        scheduleStatsFold();
+    });
+}
+
+void
+HybridController::foldLongResidents()
+{
+    Tick now = eq_.now();
+    stc_.forEach([&](std::uint64_t group, StcMeta &meta) {
+        if (meta.swapping)
+            return;
+        // Harvest, per block, counters that have been quiet for a
+        // whole sweep: the block's access burst is over, so fold it
+        // into the policy statistics exactly as an eviction would
+        // and restart that block's counting.  Blocks accessed since
+        // the previous sweep keep accumulating so the depletion
+        // information of Sec. 3.2.3 stays intact.
+        std::uint32_t touched = meta.touchedMask;
+        meta.touchedMask = 0;
+        StcMeta quiet = meta;
+        bool any = false;
+        for (unsigned s = 0; s < layout_.slotsPerGroup; ++s) {
+            bool active = (touched & (1u << s)) != 0;
+            // A saturated counter carries no further information:
+            // fold it even mid-burst, otherwise a continuously hot
+            // block freezes at rem_cnt <= 0 and can never promote.
+            bool saturated = meta.ac[s] >= 63;
+            if ((active && !saturated) || meta.ac[s] == 0)
+                quiet.ac[s] = 0;
+            else
+                any = true;
+        }
+        if (!any)
+            return;
+        policy_.onStcEvict(group, quiet, st_.entry(group));
+        for (unsigned s = 0; s < layout_.slotsPerGroup; ++s) {
+            if (quiet.ac[s] > 0) {
+                meta.ac[s] = 0;
+                meta.qacAtInsert[s] = st_.entry(group).qac[s];
+                // Only a genuinely quiet block is depleted; a
+                // saturated-but-active one is still bursting.
+                if ((touched & (1u << s)) == 0)
+                    meta.depletedMask |= 1u << s;
+            }
+        }
+        meta.dirty = true;
+        meta.lastFold = now;
+        stats_.inc("stats_folds");
+    });
+}
+
+void
+HybridController::schedulePeriodic()
+{
+    eq_.scheduleIn(policy_.periodicInterval(), [this]() {
+        if (!periodicEnabled_)
+            return;
+        policy_.onPeriodic();
+        schedulePeriodic();
+    });
+}
+
+void
+HybridController::resetStats()
+{
+    for (auto &p : perProgram_)
+        p = ProgramStats{};
+    swaps_ = 0;
+    stats_.reset();
+    stc_.resetStats();
+}
+
+std::uint64_t
+HybridController::servedTotal() const
+{
+    std::uint64_t total = 0;
+    for (const auto &p : perProgram_)
+        total += p.served;
+    return total;
+}
+
+const HybridController::ProgramStats &
+HybridController::programStats(ProgramId p) const
+{
+    panic_if(p < 0 ||
+                 static_cast<unsigned>(p) >= perProgram_.size(),
+             "bad program id %d", p);
+    return perProgram_[static_cast<unsigned>(p)];
+}
+
+} // namespace hybrid
+
+} // namespace profess

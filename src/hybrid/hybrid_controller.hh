@@ -1,0 +1,189 @@
+/**
+ * @file
+ * The hardware memory controller managing the flat migrating hybrid
+ * memory (Fig. 1), transparently to the OS (Sec. 2.2).
+ *
+ * For every demand access it:
+ *   1. translates the original address through the STC (a miss fills
+ *      the ST entry from M1 and may write back a dirty victim);
+ *   2. serves the 64-B request from the block's actual location;
+ *   3. bumps the block's STC access counter and notifies the
+ *      migration policy, which may decide to swap the accessed M2
+ *      block with the group's M1-resident block;
+ *   4. executes decided swaps through the channel (which is blocked
+ *      for the swap duration; accesses to a group mid-swap wait).
+ *
+ * The controller is policy-agnostic: PoM, MemPod, MDM, ProFess, etc.
+ * plug in through policy::MigrationPolicy.
+ */
+
+#ifndef PROFESS_HYBRID_HYBRID_CONTROLLER_HH
+#define PROFESS_HYBRID_HYBRID_CONTROLLER_HH
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/event.hh"
+#include "common/stats.hh"
+#include "hybrid/layout.hh"
+#include "hybrid/st.hh"
+#include "hybrid/stc.hh"
+#include "mem/memory_system.hh"
+#include "os/page_allocator.hh"
+#include "policy/policy.hh"
+
+namespace profess
+{
+
+namespace hybrid
+{
+
+/** Memory controller for the hybrid memory. */
+class HybridController : public policy::SwapHost
+{
+  public:
+    struct Params
+    {
+        StCache::Params stc{};
+        bool modelStTraffic = true; ///< STC misses touch M1
+        unsigned numPrograms = 4;   ///< private regions 0..n-1
+        /**
+         * Fold the access counters of long-resident STC entries
+         * into the policy statistics every this many ticks
+         * (0 = off).  Implements the paper's Sec. 5.2 observation
+         * that a lack of evictions starves MDM of updates ("forcing
+         * MDM counters' updates every 10M processor cycles ...
+         * would increase the IPC"); 10M core cycles scale to 25K
+         * MC ticks at the repo's 1/100 run scale.
+         */
+        Cycles statsFoldInterval = 25000;
+    };
+
+    /** Per-program service counters. */
+    struct ProgramStats
+    {
+        std::uint64_t served = 0;
+        std::uint64_t servedFromM1 = 0;
+        std::uint64_t reads = 0;
+        std::uint64_t writes = 0;
+    };
+
+    HybridController(EventQueue &eq, mem::MemorySystem &memory,
+                     const HybridLayout &layout, const Params &params,
+                     policy::MigrationPolicy &policy,
+                     const os::BlockOwnerOracle &oracle);
+
+    /**
+     * Serve one 64-B demand access.
+     *
+     * @param program Accessing program.
+     * @param original_addr Original physical byte address.
+     * @param is_write True for writes.
+     * @param done Completion callback (may be empty for writes).
+     */
+    void access(ProgramId program, Addr original_addr, bool is_write,
+                std::function<void()> done);
+
+    /** Begin periodic policy callbacks (MemPod intervals). */
+    void startPeriodic();
+
+    /** Stop periodic policy callbacks. */
+    void stopPeriodic();
+
+    // SwapHost
+    bool requestSwap(std::uint64_t group, unsigned slot) override;
+    Tick hostNow() const override { return eq_.now(); }
+
+    /** @return STC hit rate over all demand translations. */
+    double stcHitRate() const { return stc_.hitRate(); }
+
+    /** @return total swaps executed. */
+    std::uint64_t swapCount() const { return swaps_; }
+
+    /** @return served demand accesses (all programs). */
+    std::uint64_t servedTotal() const;
+
+    /** @return per-program counters. */
+    const ProgramStats &programStats(ProgramId p) const;
+
+    /** @return misc counters (st_fills, st_writebacks, ...). */
+    const StatSet &stats() const { return stats_; }
+
+    /** @return the layout in force. */
+    const HybridLayout &layout() const { return layout_; }
+
+    /** @return the swap-group table (tests, debugging). */
+    const SwapGroupTable &table() const { return st_; }
+
+    /** @return the STC (tests, debugging). */
+    const StCache &stCache() const { return stc_; }
+
+    /**
+     * Zero all service statistics (per-program counters, swap
+     * count, STC hit/miss, misc counters); ST/STC contents and
+     * policy state are untouched.  Used at the warm-up boundary.
+     */
+    void resetStats();
+
+  private:
+    /** One access waiting for translation or a swap. */
+    struct PendingAccess
+    {
+        ProgramId program;
+        unsigned slot;
+        std::uint64_t offset; ///< byte offset within the block
+        bool isWrite;
+        std::function<void()> done;
+    };
+
+    void serve(std::uint64_t group, StcMeta &meta, PendingAccess pa);
+    void startFill(std::uint64_t group, PendingAccess pa);
+    void finishFill(std::uint64_t group);
+    void startSwap(std::uint64_t group, unsigned promote_slot,
+                   unsigned m1_slot, StcMeta &meta);
+    void finishSwap(std::uint64_t group, unsigned promote_slot,
+                    unsigned m1_slot);
+    void schedulePeriodic();
+    void scheduleStatsFold();
+    void foldLongResidents();
+
+    bool
+    privateRegion(std::uint64_t group) const
+    {
+        return layout_.regionOfGroup(group) < params_.numPrograms;
+    }
+
+    mem::Channel &
+    channelOf(std::uint64_t group)
+    {
+        return memory_.channel(layout_.channelOf(group));
+    }
+
+    EventQueue &eq_;
+    mem::MemorySystem &memory_;
+    HybridLayout layout_;
+    Params params_;
+    policy::MigrationPolicy &policy_;
+    const os::BlockOwnerOracle &oracle_;
+
+    SwapGroupTable st_;
+    StCache stc_;
+
+    std::unordered_map<std::uint64_t, std::vector<PendingAccess>>
+        fillPending_;
+    std::unordered_map<std::uint64_t, std::vector<PendingAccess>>
+        swapWaiters_;
+
+    std::vector<ProgramStats> perProgram_;
+    std::uint64_t swaps_ = 0;
+    bool periodicEnabled_ = false;
+    bool foldEnabled_ = false;
+    StatSet stats_;
+};
+
+} // namespace hybrid
+
+} // namespace profess
+
+#endif // PROFESS_HYBRID_HYBRID_CONTROLLER_HH

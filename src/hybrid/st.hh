@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Swap-group Table (ST): the authoritative address translations.
+ *
+ * Each ST entry holds, per slot of the group, Address Translation
+ * Bits (ATB; 4 bits each for 9 slots) giving the slot's current
+ * physical location, and the slot's Quantized Access-Counter (QAC)
+ * value (2 bits, Table 5).  Entries logically reside in M1
+ * (Sec. 2.2); the timing of ST fills and writebacks is modelled by
+ * the hybrid controller, while this class stores the contents.
+ */
+
+#ifndef PROFESS_HYBRID_ST_HH
+#define PROFESS_HYBRID_ST_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+#include "hybrid/layout.hh"
+
+namespace profess
+{
+
+namespace hybrid
+{
+
+/** Maximum slots per swap group supported (1:16 ratio). */
+constexpr unsigned maxSlots = 17;
+
+/** Contents of one ST entry. */
+struct StEntry
+{
+    /** atb[slot] = physical location (0 = M1, k>=1 = M2 loc k). */
+    std::uint8_t atb[maxSlots];
+    /** qac[slot] = quantized access count (Table 5). */
+    std::uint8_t qac[maxSlots];
+};
+
+/** The table of all swap groups' entries. */
+class SwapGroupTable
+{
+  public:
+    explicit SwapGroupTable(const HybridLayout &layout)
+        : layout_(layout)
+    {
+        fatal_if(layout.slotsPerGroup > maxSlots,
+                 "slotsPerGroup %u exceeds maxSlots %u",
+                 layout.slotsPerGroup, maxSlots);
+        StEntry init;
+        for (unsigned s = 0; s < maxSlots; ++s) {
+            init.atb[s] = static_cast<std::uint8_t>(s);
+            init.qac[s] = 0;
+        }
+        entries_.assign(layout.numGroups, init);
+    }
+
+    /** @return mutable entry of a group. */
+    StEntry &
+    entry(std::uint64_t group)
+    {
+        panic_if(group >= entries_.size(), "bad group");
+        return entries_[group];
+    }
+
+    /** @return entry of a group. */
+    const StEntry &
+    entry(std::uint64_t group) const
+    {
+        panic_if(group >= entries_.size(), "bad group");
+        return entries_[group];
+    }
+
+    /** @return current physical location of (group, slot). */
+    unsigned
+    locationOf(std::uint64_t group, unsigned slot) const
+    {
+        return entry(group).atb[slot];
+    }
+
+    /** @return the slot currently resident in the M1 location. */
+    unsigned
+    slotInM1(std::uint64_t group) const
+    {
+        const StEntry &e = entry(group);
+        for (unsigned s = 0; s < layout_.slotsPerGroup; ++s) {
+            if (e.atb[s] == 0)
+                return s;
+        }
+        panic("group %llu has no slot in M1",
+              static_cast<unsigned long long>(group));
+    }
+
+    /** Exchange the physical locations of two slots of a group. */
+    void
+    swapSlots(std::uint64_t group, unsigned slot_a, unsigned slot_b)
+    {
+        StEntry &e = entry(group);
+        std::uint8_t t = e.atb[slot_a];
+        e.atb[slot_a] = e.atb[slot_b];
+        e.atb[slot_b] = t;
+    }
+
+    /** @return the layout this table was built for. */
+    const HybridLayout &layout() const { return layout_; }
+
+  private:
+    HybridLayout layout_;
+    std::vector<StEntry> entries_;
+};
+
+} // namespace hybrid
+
+} // namespace profess
+
+#endif // PROFESS_HYBRID_ST_HH

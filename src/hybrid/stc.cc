@@ -1,0 +1,105 @@
+#include "hybrid/stc.hh"
+
+#include <cstring>
+
+namespace profess
+{
+
+namespace hybrid
+{
+
+StCache::StCache(const Params &p) : ways_(p.ways)
+{
+    fatal_if(p.ways == 0, "STC needs at least one way");
+    std::uint64_t entries = p.capacityBytes / p.entryBytes;
+    fatal_if(entries < p.ways, "STC too small for %u ways", p.ways);
+    numSets_ = entries / p.ways;
+    store_.resize(numSets_ * ways_);
+}
+
+StcMeta *
+StCache::find(std::uint64_t group)
+{
+    Way *set = &store_[setOf(group) * ways_];
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (set[w].valid && set[w].group == group) {
+            set[w].lastUse = ++useClock_;
+            ++hits_;
+            return &set[w].meta;
+        }
+    }
+    ++misses_;
+    return nullptr;
+}
+
+StcMeta *
+StCache::peek(std::uint64_t group)
+{
+    Way *set = &store_[setOf(group) * ways_];
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (set[w].valid && set[w].group == group) {
+            set[w].lastUse = ++useClock_;
+            return &set[w].meta;
+        }
+    }
+    return nullptr;
+}
+
+bool
+StCache::contains(std::uint64_t group) const
+{
+    const Way *set = &store_[setOf(group) * ways_];
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (set[w].valid && set[w].group == group)
+            return true;
+    }
+    return false;
+}
+
+bool
+StCache::insert(std::uint64_t group, const std::uint8_t *current_qac,
+                StcEviction &ev)
+{
+    Way *set = &store_[setOf(group) * ways_];
+    Way *victim = nullptr;
+    for (unsigned w = 0; w < ways_; ++w) {
+        panic_if(set[w].valid && set[w].group == group,
+                 "inserting group already present");
+        if (!set[w].valid) {
+            victim = &set[w];
+            break;
+        }
+        if (set[w].meta.swapping)
+            continue; // pinned: a migration is in flight
+        if (victim == nullptr || set[w].lastUse < victim->lastUse)
+            victim = &set[w];
+    }
+    if (victim == nullptr)
+        return false; // whole set pinned; caller retries
+
+    ev = StcEviction{};
+    if (victim->valid) {
+        ev.valid = true;
+        ev.group = victim->group;
+        ev.meta = victim->meta;
+        // The writeback is needed whenever translations or counters
+        // changed; a block with a non-zero AC will update its QAC
+        // (read-modify-write of the ST entry, Sec. 3.2.1).
+        ev.dirty = victim->meta.dirty;
+        for (unsigned s = 0; s < maxSlots && !ev.dirty; ++s)
+            ev.dirty = victim->meta.ac[s] > 0;
+    }
+
+    victim->valid = true;
+    victim->group = group;
+    victim->lastUse = ++useClock_;
+    victim->meta = StcMeta{};
+    std::memset(victim->meta.ac, 0, sizeof(victim->meta.ac));
+    std::memcpy(victim->meta.qacAtInsert, current_qac,
+                sizeof(victim->meta.qacAtInsert));
+    return true;
+}
+
+} // namespace hybrid
+
+} // namespace profess

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Swap-group Table Cache (STC, Fig. 1 and Fig. 4).
+ *
+ * A set-associative on-chip cache of recently used ST entries.  It
+ * doubles as MDM's temporal filter (Sec. 3.2): per cached entry, a
+ * 6-bit saturating Access Counter (AC) per block and a snapshot of
+ * each block's QAC at insertion (q_I) are kept.  The controller
+ * resets ACs at insertion; policies read them on accesses and fold
+ * them into statistics at eviction.
+ *
+ * This class is the tag/metadata store; the entry *contents* stay in
+ * the authoritative SwapGroupTable, and the controller models the
+ * fill/writeback traffic to M1.
+ */
+
+#ifndef PROFESS_HYBRID_STC_HH
+#define PROFESS_HYBRID_STC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "hybrid/st.hh"
+
+namespace profess
+{
+
+namespace hybrid
+{
+
+/** Per-cached-entry metadata (the STC-resident accurate state). */
+struct StcMeta
+{
+    std::uint8_t ac[maxSlots];          ///< 6-bit saturating ACs
+    std::uint8_t qacAtInsert[maxSlots]; ///< q_I snapshot (Sec. 3.2.2)
+    bool swapping = false;              ///< a swap is in flight
+    bool dirty = false;                 ///< entry modified (ATB/QAC)
+    /** Per-slot access bit since the last fold sweep. */
+    std::uint32_t touchedMask = 0;
+    /**
+     * Per-slot "burst completed" bit: set when a quiet counter is
+     * harvested (the block finished an access burst and went
+     * silent), cleared on the next access.  A depleted M1 incumbent
+     * should not be protected from promotion candidates.
+     */
+    std::uint32_t depletedMask = 0;
+    Tick lastFold = 0; ///< last insert / forced statistics fold
+
+    /** Saturating AC increment (6-bit counters). */
+    void
+    bump(unsigned slot, unsigned amount)
+    {
+        unsigned v = ac[slot] + amount;
+        ac[slot] = static_cast<std::uint8_t>(v > 63 ? 63 : v);
+        touchedMask |= 1u << slot;
+        depletedMask &= ~(1u << slot);
+    }
+
+    /** @return true if the slot's last burst completed (see
+     *  depletedMask). */
+    bool
+    depleted(unsigned slot) const
+    {
+        return (depletedMask & (1u << slot)) != 0;
+    }
+
+    /** @return true if any slot other than `except` was accessed. */
+    bool
+    anyOtherAccessed(unsigned slots, unsigned except) const
+    {
+        for (unsigned s = 0; s < slots; ++s) {
+            if (s != except && ac[s] > 0)
+                return true;
+        }
+        return false;
+    }
+};
+
+/** Result of an insertion that displaced a valid entry. */
+struct StcEviction
+{
+    bool valid = false;   ///< an entry was displaced
+    bool dirty = false;   ///< displaced entry needs a writeback
+    std::uint64_t group = 0;
+    StcMeta meta{};
+};
+
+/** The cache proper. */
+class StCache
+{
+  public:
+    struct Params
+    {
+        std::uint64_t capacityBytes = 64 * KiB;
+        unsigned ways = 8;
+        std::uint64_t entryBytes = 8;
+    };
+
+    explicit StCache(const Params &p);
+
+    /** @return number of sets. */
+    std::uint64_t numSets() const { return numSets_; }
+
+    /** @return associativity. */
+    unsigned ways() const { return ways_; }
+
+    /**
+     * Look up a group, updating LRU on hit.
+     *
+     * @return metadata pointer, or nullptr on miss.
+     */
+    StcMeta *find(std::uint64_t group);
+
+    /**
+     * Look up a group updating LRU but not the hit/miss statistics
+     * (used for internal re-lookups after fills and swaps so that
+     * one demand access counts as exactly one STC lookup).
+     *
+     * @return metadata pointer, or nullptr if absent.
+     */
+    StcMeta *peek(std::uint64_t group);
+
+    /** @return true if present, without touching LRU. */
+    bool contains(std::uint64_t group) const;
+
+    /**
+     * Insert a group (must not be present), evicting the LRU
+     * non-pinned (non-swapping) way if the set is full.
+     *
+     * @param group Group to insert.
+     * @param current_qac The group's current QAC values (copied into
+     *        the q_I snapshot); ACs are reset to zero.
+     * @param ev Eviction descriptor (valid=false if a free way).
+     * @return false if every way of the set is pinned by an
+     *         in-flight swap (the caller must retry later).
+     */
+    bool insert(std::uint64_t group, const std::uint8_t *current_qac,
+                StcEviction &ev);
+
+    /** Hit/miss statistics. */
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+
+    /** Zero the hit/miss statistics (contents untouched). */
+    void
+    resetStats()
+    {
+        hits_ = 0;
+        misses_ = 0;
+    }
+
+    /**
+     * Visit every valid entry (mutable access to its metadata).
+     *
+     * @param fn Invoked as fn(group, meta).
+     */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn)
+    {
+        for (auto &w : store_) {
+            if (w.valid)
+                fn(w.group, w.meta);
+        }
+    }
+
+    /** @return hit rate in [0,1] (1 if no lookups). */
+    double
+    hitRate() const
+    {
+        std::uint64_t t = hits_ + misses_;
+        return t == 0 ? 1.0
+                      : static_cast<double>(hits_) /
+                            static_cast<double>(t);
+    }
+
+  private:
+    struct Way
+    {
+        bool valid = false;
+        std::uint64_t group = 0;
+        std::uint64_t lastUse = 0;
+        StcMeta meta{};
+    };
+
+    std::uint64_t setOf(std::uint64_t group) const
+    {
+        return group % numSets_;
+    }
+
+    std::uint64_t numSets_;
+    unsigned ways_;
+    std::vector<Way> store_; ///< numSets_ x ways_, row-major
+    std::uint64_t useClock_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace hybrid
+
+} // namespace profess
+
+#endif // PROFESS_HYBRID_STC_HH

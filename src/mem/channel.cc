@@ -1,0 +1,293 @@
+#include "mem/channel.hh"
+
+#include <algorithm>
+
+namespace profess
+{
+
+namespace mem
+{
+
+Channel::Channel(EventQueue &eq, const TimingParams &m1t,
+                 const TimingParams &m2t, const ModuleGeometry &m1g,
+                 const ModuleGeometry &m2g, const EnergyParams &ep,
+                 const ChannelConfig &cfg)
+    : eq_(eq), m1t_(m1t), m2t_(m2t), m1g_(m1g), m2g_(m2g), cfg_(cfg),
+      banks1_(m1g.banks), banks2_(m2g.banks), energy_(ep)
+{
+    nextRefresh_ = m1t_.tREFI == 0 ? tickNever : m1t_.tREFI;
+}
+
+void
+Channel::push(RequestPtr req)
+{
+    req->enqueueTick = eq_.now();
+    const char *cls = req->cls == ReqClass::Demand
+        ? (req->isWrite ? "demand_writes" : "demand_reads")
+        : (req->isWrite ? "st_writes" : "st_reads");
+    stats_.inc(cls);
+    if (req->isWrite)
+        writeQ_.push_back(std::move(req));
+    else
+        readQ_.push_back(std::move(req));
+    trySchedule();
+}
+
+void
+Channel::executeSwap(Addr m1_addr, Addr m2_addr,
+                     std::uint64_t block_bytes,
+                     std::function<void()> done, bool slow)
+{
+    swapQ_.push_back(PendingSwap{m1_addr, m2_addr, block_bytes,
+                                 std::move(done), slow});
+    trySchedule();
+}
+
+Cycles
+Channel::swapLatency(std::uint64_t block_bytes) const
+{
+    return swapLatencyCycles(m1t_, m2t_, block_bytes);
+}
+
+void
+Channel::resetStats()
+{
+    stats_.reset();
+    readLat_.reset();
+    energy_ = EnergyAccount(energy_.params());
+}
+
+void
+Channel::applyRefresh(Tick now)
+{
+    if (m1t_.tREFI == 0)
+        return;
+    while (nextRefresh_ <= now) {
+        Tick end = nextRefresh_ + m1t_.tRFC;
+        for (auto &b : banks1_) {
+            b.open = false;
+            b.readyAct = std::max(b.readyAct, end);
+            b.readyCol = std::max(b.readyCol, end);
+        }
+        stats_.inc("m1_refreshes");
+        nextRefresh_ += m1t_.tREFI;
+    }
+}
+
+void
+Channel::requestWake(Tick when)
+{
+    Tick now = eq_.now();
+    if (when <= now)
+        when = now;
+    // An earlier-or-equal pending wake already covers this one.
+    if (wakeAt_ != tickNever && wakeAt_ <= when && wakeAt_ > now)
+        return;
+    wakeAt_ = when;
+    eq_.schedule(when, [this, when]() {
+        if (wakeAt_ == when)
+            wakeAt_ = tickNever;
+        trySchedule();
+    });
+}
+
+std::size_t
+Channel::pickNext(const std::deque<RequestPtr> &q) const
+{
+    // FR-FCFS-Cap: oldest row hit whose row has not exhausted the
+    // consecutive-hit cap; otherwise the oldest request.
+    for (std::size_t i = 0; i < q.size(); ++i) {
+        const Request &r = *q[i];
+        const ModuleGeometry &g =
+            r.module == Module::M1 ? m1g_ : m2g_;
+        DecodedAddr d = g.decode(r.addr);
+        const Bank &bk = r.module == Module::M1 ? banks1_[d.bank]
+                                                : banks2_[d.bank];
+        if (bk.open && bk.row == d.row &&
+            bk.consecHits < cfg_.rowHitCap) {
+            return i;
+        }
+    }
+    return 0;
+}
+
+void
+Channel::commit(RequestPtr req)
+{
+    Tick now = eq_.now();
+    bool m2 = req->module == Module::M2;
+    const TimingParams &t = timing(req->module);
+    DecodedAddr d = geometry(req->module).decode(req->addr);
+    Bank &bk = bank(req->module, d.bank);
+
+    bool hit = bk.open && bk.row == d.row;
+    Tick col_ready;
+    if (hit) {
+        col_ready = std::max(now, bk.readyCol);
+        ++bk.consecHits;
+        stats_.inc("row_hits");
+    } else {
+        Tick act_start;
+        if (bk.open) {
+            Tick pre_start = std::max(
+                {now, bk.lastAct + t.tRAS, bk.wrRecoverEnd,
+                 bk.readyCol});
+            act_start = std::max(pre_start + t.tRP, bk.readyAct);
+        } else {
+            act_start = std::max(now, bk.readyAct);
+        }
+        bk.open = true;
+        bk.row = d.row;
+        bk.lastAct = act_start;
+        bk.readyAct = act_start + t.tRC; // activate-to-activate
+        bk.consecHits = 1;
+        col_ready = act_start + t.tRCD;
+        energy_.addActivate(m2);
+        stats_.inc(m2 ? "m2_activates" : "m1_activates");
+        stats_.inc("row_misses");
+    }
+
+    Cycles lat = req->isWrite ? t.tWL : t.tCL;
+    Tick bus_earliest = busFreeAt_;
+    if (req->isWrite != lastBusWrite_)
+        bus_earliest += req->isWrite ? t.tRTW : t.tWTR;
+    Tick data_start = std::max(col_ready + lat, bus_earliest);
+    Tick data_end = data_start + t.tBurst;
+
+    bk.readyCol = data_start - lat + t.tBurst;
+    if (req->isWrite) {
+        bk.wrRecoverEnd = data_end + t.tWR;
+        if (t.writeRecoveryPerAccess)
+            bk.readyCol = data_end + t.tWR;
+    }
+    // FR-FCFS-Cap (Sec. 4.1): after rowHitCap consecutive hits the
+    // row is closed so one hot row cannot monopolize the bank.
+    if (bk.consecHits >= cfg_.rowHitCap) {
+        Tick pre_start =
+            std::max({data_end, bk.wrRecoverEnd, bk.readyCol,
+                      bk.lastAct + t.tRAS});
+        bk.open = false;
+        bk.consecHits = 0;
+        bk.readyAct = std::max(bk.readyAct, pre_start + t.tRP);
+    }
+    busFreeAt_ = data_end;
+    lastBusWrite_ = req->isWrite;
+    stats_.inc("bus_busy_cycles", t.tBurst);
+
+    if (req->isWrite)
+        energy_.addWrite(m2);
+    else
+        energy_.addRead(m2);
+    stats_.inc(m2 ? "m2_accesses" : "m1_accesses");
+
+    Request *raw = req.release();
+    eq_.schedule(data_end, [this, raw]() {
+        raw->completeTick = eq_.now();
+        if (!raw->isWrite && raw->cls == ReqClass::Demand) {
+            readLat_.add(static_cast<double>(raw->completeTick -
+                                             raw->enqueueTick));
+        }
+        panic_if(inflight_ == 0, "completion with no inflight");
+        --inflight_;
+        if (raw->onComplete)
+            raw->onComplete(*raw);
+        delete raw;
+        trySchedule();
+    });
+}
+
+void
+Channel::maybeStartSwap()
+{
+    Tick now = eq_.now();
+    if (swapQ_.empty() || now < swapEndTick_)
+        return;
+    Tick start = std::max(now, busFreeAt_);
+    PendingSwap s = std::move(swapQ_.front());
+    swapQ_.pop_front();
+
+    Cycles dur = swapLatency(s.blockBytes);
+    if (s.slow)
+        dur *= 2; // restore original mapping, then swap (Table 1)
+    Tick end = start + dur;
+    swapEndTick_ = end;
+    busFreeAt_ = end;
+    lastBusWrite_ = true;
+
+    // Traffic and energy of the swap: block-sized reads and writes
+    // on both modules, one activation each (2-KB blocks sit within
+    // a single 8-KB row).
+    std::uint64_t bursts = ceilDiv(s.blockBytes, 64);
+    for (std::uint64_t i = 0; i < bursts; ++i) {
+        energy_.addRead(false);
+        energy_.addRead(true);
+        energy_.addWrite(false);
+        energy_.addWrite(true);
+    }
+    energy_.addActivate(false);
+    energy_.addActivate(true);
+    stats_.inc("m1_activates");
+    stats_.inc("m2_activates");
+    stats_.inc("swaps");
+    stats_.inc("swap_busy_cycles", dur);
+
+    // Involved banks end up with the swapped rows open.
+    DecodedAddr d1 = m1g_.decode(s.m1Addr);
+    DecodedAddr d2 = m2g_.decode(s.m2Addr);
+    Bank &b1 = banks1_[d1.bank];
+    Bank &b2 = banks2_[d2.bank];
+    for (Bank *b : {&b1, &b2}) {
+        b->open = true;
+        b->readyCol = end;
+        b->readyAct = end;
+        b->lastAct = start;
+        b->wrRecoverEnd = end;
+        b->consecHits = 0;
+    }
+    b1.row = d1.row;
+    b2.row = d2.row;
+
+    eq_.schedule(end, [this, done = std::move(s.done)]() {
+        if (done)
+            done();
+        trySchedule();
+    });
+}
+
+void
+Channel::trySchedule()
+{
+    Tick now = eq_.now();
+    applyRefresh(now);
+    if (now < swapEndTick_) {
+        requestWake(swapEndTick_);
+        return;
+    }
+    maybeStartSwap();
+    if (now < swapEndTick_) {
+        requestWake(swapEndTick_);
+        return;
+    }
+    while (inflight_ < cfg_.maxInflight) {
+        if (drainingWrites_) {
+            if (writeQ_.size() <= cfg_.writeLowMark)
+                drainingWrites_ = false;
+        } else if (writeQ_.size() >= cfg_.writeHighMark) {
+            drainingWrites_ = true;
+        }
+        bool use_writes =
+            drainingWrites_ || (readQ_.empty() && !writeQ_.empty());
+        auto &q = use_writes ? writeQ_ : readQ_;
+        if (q.empty())
+            break;
+        std::size_t idx = pickNext(q);
+        RequestPtr r = std::move(q[idx]);
+        q.erase(q.begin() + static_cast<std::ptrdiff_t>(idx));
+        ++inflight_;
+        commit(std::move(r));
+    }
+}
+
+} // namespace mem
+
+} // namespace profess

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Event-driven timing model of one hybrid memory channel.
+ *
+ * One channel hosts one M1 (DRAM) module and one M2 (NVM) module
+ * sharing command and data buses, as in Intel Purley (Sec. 2.2).
+ * Scheduling is FR-FCFS-Cap (Sec. 4.1): row-buffer hits are preferred
+ * but at most `rowHitCap` consecutive hits to one row are served
+ * before the oldest request wins; writes are buffered and drained
+ * between high/low watermarks; banks across both modules operate in
+ * parallel, arbitrating for the shared data bus.
+ *
+ * Swaps (block migrations) are modelled per Sec. 4.1: the channel is
+ * blocked for the duration of the swap, whose latency is derived from
+ * the timing parameters using the paper's overlap structure (read
+ * phase dominated by tRCD_M2, write phase dominated by tWR_M2); the
+ * resulting ~796 ns for default parameters is validated by tests.
+ */
+
+#ifndef PROFESS_MEM_CHANNEL_HH
+#define PROFESS_MEM_CHANNEL_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "common/event.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/energy.hh"
+#include "mem/geometry.hh"
+#include "mem/request.hh"
+#include "mem/timing.hh"
+
+namespace profess
+{
+
+namespace mem
+{
+
+/** Scheduling and buffering knobs of a channel. */
+struct ChannelConfig
+{
+    unsigned rowHitCap = 4;     ///< FR-FCFS-Cap limit
+    unsigned writeHighMark = 32; ///< start draining writes
+    unsigned writeLowMark = 16;  ///< stop draining writes
+    unsigned maxInflight = 4;    ///< concurrently committed requests
+};
+
+/** One memory channel with an M1 and an M2 module. */
+class Channel
+{
+  public:
+    /**
+     * @param eq Shared event queue.
+     * @param m1t M1 timing parameters.
+     * @param m2t M2 timing parameters.
+     * @param m1g M1 geometry.
+     * @param m2g M2 geometry.
+     * @param ep Energy parameters.
+     * @param cfg Scheduling configuration.
+     */
+    Channel(EventQueue &eq, const TimingParams &m1t,
+            const TimingParams &m2t, const ModuleGeometry &m1g,
+            const ModuleGeometry &m2g, const EnergyParams &ep = {},
+            const ChannelConfig &cfg = {});
+
+    /** Enqueue a request; completion reported via req->onComplete. */
+    void push(RequestPtr req);
+
+    /**
+     * Execute a block swap between an M1 location and an M2 location.
+     *
+     * The channel is blocked for the duration (fast swap, Sec. 2.3);
+     * queued demand requests wait.  Multiple swap requests queue.
+     *
+     * @param m1_addr M1 device byte address of the 2-KB block.
+     * @param m2_addr M2 device byte address of the 2-KB block.
+     * @param block_bytes Swap block size in bytes.
+     * @param done Invoked when the swap completes.
+     * @param slow Slow swap (Table 1): the original mapping must be
+     *        restored first, doubling the occupancy.
+     */
+    void executeSwap(Addr m1_addr, Addr m2_addr,
+                     std::uint64_t block_bytes,
+                     std::function<void()> done,
+                     bool slow = false);
+
+    /** @return true while a swap occupies the channel. */
+    bool swapActive() const { return eq_.now() < swapEndTick_; }
+
+    /** @return analytic latency of one swap, in MC cycles. */
+    Cycles swapLatency(std::uint64_t block_bytes) const;
+
+    /** @return number of queued read requests. */
+    std::size_t readQueueSize() const { return readQ_.size(); }
+
+    /** @return number of queued write requests. */
+    std::size_t writeQueueSize() const { return writeQ_.size(); }
+
+    /** Statistics of this channel. */
+    const StatSet &stats() const { return stats_; }
+
+    /** Demand-read latency distribution (MC cycles). */
+    const RunningStat &readLatency() const { return readLat_; }
+
+    /** Energy account of this channel. */
+    const EnergyAccount &energy() const { return energy_; }
+
+    /** M1/M2 timing in force (read-only). */
+    const TimingParams &m1Timing() const { return m1t_; }
+    const TimingParams &m2Timing() const { return m2t_; }
+
+    /**
+     * Zero all statistics and energy tallies (device and queue
+     * state are untouched).  Used to exclude warm-up from
+     * measurement windows.
+     */
+    void resetStats();
+
+  private:
+    /** Per-bank device state. */
+    struct Bank
+    {
+        bool open = false;
+        std::uint64_t row = 0;
+        Tick readyCol = 0;      ///< earliest next column command
+        Tick readyAct = 0;      ///< earliest next activation
+        Tick lastAct = 0;       ///< last activation tick (tRAS/tRC)
+        Tick wrRecoverEnd = 0;  ///< write recovery for precharge
+        unsigned consecHits = 0;
+    };
+
+    /** A queued swap awaiting the channel. */
+    struct PendingSwap
+    {
+        Addr m1Addr;
+        Addr m2Addr;
+        std::uint64_t blockBytes;
+        std::function<void()> done;
+        bool slow;
+    };
+
+    const TimingParams &timing(Module m) const
+    {
+        return m == Module::M1 ? m1t_ : m2t_;
+    }
+    const ModuleGeometry &geometry(Module m) const
+    {
+        return m == Module::M1 ? m1g_ : m2g_;
+    }
+    Bank &bank(Module m, std::uint32_t b)
+    {
+        return m == Module::M1 ? banks1_[b] : banks2_[b];
+    }
+
+    /** Apply any M1 refresh windows that have begun by now. */
+    void applyRefresh(Tick now);
+
+    /** Ensure a scheduler wake-up at the given tick. */
+    void requestWake(Tick when);
+
+    /** Main scheduling entry: commit as many requests as allowed. */
+    void trySchedule();
+
+    /** Pick the next request index in q per FR-FCFS-Cap, or npos. */
+    std::size_t pickNext(const std::deque<RequestPtr> &q) const;
+
+    /** Commit one request: update state, schedule completion. */
+    void commit(RequestPtr req);
+
+    /** Start the next queued swap if the channel is free. */
+    void maybeStartSwap();
+
+    EventQueue &eq_;
+    TimingParams m1t_, m2t_;
+    ModuleGeometry m1g_, m2g_;
+    ChannelConfig cfg_;
+
+    std::vector<Bank> banks1_, banks2_;
+    std::deque<RequestPtr> readQ_, writeQ_;
+    std::deque<PendingSwap> swapQ_;
+
+    Tick busFreeAt_ = 0;
+    bool lastBusWrite_ = false;
+    bool drainingWrites_ = false;
+    unsigned inflight_ = 0;
+    Tick swapEndTick_ = 0;
+    Tick nextRefresh_ = 0;
+    Tick wakeAt_ = tickNever;
+
+    StatSet stats_;
+    RunningStat readLat_;
+    EnergyAccount energy_;
+};
+
+} // namespace mem
+
+} // namespace profess
+
+#endif // PROFESS_MEM_CHANNEL_HH

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Off-chip memory-system energy accounting.
+ *
+ * The paper reports energy efficiency as requests served per second
+ * per watt (Sec. 4.3), using the power reported by the memory
+ * simulator.  We account per-operation energies (activation, 64-B
+ * read burst, 64-B write burst) plus per-rank background power.
+ *
+ * Default values are representative of DDR4 (M1) and a PCM-like NVM
+ * (M2): NVM array reads cost ~2x DRAM and writes ~8x, while NVM needs
+ * no refresh and has lower background power.  Absolute values only
+ * scale the result; the paper's metric is relative, and all values
+ * are configurable.
+ */
+
+#ifndef PROFESS_MEM_ENERGY_HH
+#define PROFESS_MEM_ENERGY_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace profess
+{
+
+namespace mem
+{
+
+/** Per-operation energies (nJ) and background power (W) per module. */
+struct EnergyParams
+{
+    double m1ActNj = 2.5;      ///< M1 activate + precharge
+    double m1ReadNj = 5.0;     ///< M1 64-B read burst (incl. I/O)
+    double m1WriteNj = 5.5;    ///< M1 64-B write burst
+    double m1BackgroundW = 0.30; ///< per rank, incl. refresh
+    double m2ActNj = 5.0;      ///< M2 array read into row buffer
+    double m2ReadNj = 7.5;     ///< M2 64-B read burst
+    double m2WriteNj = 45.0;   ///< M2 64-B write burst (cell writes)
+    double m2BackgroundW = 0.10; ///< per rank, no refresh
+};
+
+/** Tallies of energy-relevant events for one channel. */
+class EnergyAccount
+{
+  public:
+    explicit EnergyAccount(const EnergyParams &p = {}) : params_(p) {}
+
+    void addActivate(bool m2) { (m2 ? m2Acts_ : m1Acts_)++; }
+    void addRead(bool m2) { (m2 ? m2Reads_ : m1Reads_)++; }
+    void addWrite(bool m2) { (m2 ? m2Writes_ : m1Writes_)++; }
+
+    /** @return dynamic energy so far, in nJ. */
+    double
+    dynamicNj() const
+    {
+        return static_cast<double>(m1Acts_) * params_.m1ActNj +
+               static_cast<double>(m1Reads_) * params_.m1ReadNj +
+               static_cast<double>(m1Writes_) * params_.m1WriteNj +
+               static_cast<double>(m2Acts_) * params_.m2ActNj +
+               static_cast<double>(m2Reads_) * params_.m2ReadNj +
+               static_cast<double>(m2Writes_) * params_.m2WriteNj;
+    }
+
+    /**
+     * @param seconds Wall-clock simulated time.
+     * @return total energy (dynamic + background), in joules.
+     */
+    double
+    totalJoules(double seconds) const
+    {
+        double background =
+            (params_.m1BackgroundW + params_.m2BackgroundW) * seconds;
+        return dynamicNj() * 1e-9 + background;
+    }
+
+    /** @return average power in watts over the given time. */
+    double
+    averageWatts(double seconds) const
+    {
+        return seconds > 0.0 ? totalJoules(seconds) / seconds : 0.0;
+    }
+
+    std::uint64_t m1Activates() const { return m1Acts_; }
+    std::uint64_t m2Activates() const { return m2Acts_; }
+    std::uint64_t m1ReadBursts() const { return m1Reads_; }
+    std::uint64_t m2ReadBursts() const { return m2Reads_; }
+    std::uint64_t m1WriteBursts() const { return m1Writes_; }
+    std::uint64_t m2WriteBursts() const { return m2Writes_; }
+
+    /** @return the parameters this account was built with. */
+    const EnergyParams &params() const { return params_; }
+
+  private:
+    EnergyParams params_;
+    std::uint64_t m1Acts_ = 0, m2Acts_ = 0;
+    std::uint64_t m1Reads_ = 0, m2Reads_ = 0;
+    std::uint64_t m1Writes_ = 0, m2Writes_ = 0;
+};
+
+} // namespace mem
+
+} // namespace profess
+
+#endif // PROFESS_MEM_ENERGY_HH

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Device geometry of one memory module and address decoding.
+ *
+ * Per Table 8: one rank per module, 16 banks per rank, 8-KB row
+ * buffers.  M2 modules have eight times the rows per bank of M1.
+ * Consecutive row-sized chunks interleave across banks so that
+ * streams exploit bank-level parallelism while 2-KB swap blocks stay
+ * inside one row (four blocks per 8-KB row).
+ */
+
+#ifndef PROFESS_MEM_GEOMETRY_HH
+#define PROFESS_MEM_GEOMETRY_HH
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace profess
+{
+
+namespace mem
+{
+
+/** Location of a byte within a module: bank, row, column offset. */
+struct DecodedAddr
+{
+    std::uint32_t bank;
+    std::uint64_t row;     ///< row index within the bank
+    std::uint64_t column;  ///< byte offset within the row
+};
+
+/** Geometry of one module (one rank). */
+struct ModuleGeometry
+{
+    std::uint32_t banks = 16;
+    std::uint64_t rowBytes = 8 * KiB;
+    std::uint64_t rowsPerBank = 1024;
+
+    /** @return module capacity in bytes. */
+    std::uint64_t
+    capacity() const
+    {
+        return static_cast<std::uint64_t>(banks) * rowBytes *
+               rowsPerBank;
+    }
+
+    /** Decode a device byte address. */
+    DecodedAddr
+    decode(Addr addr) const
+    {
+        panic_if(addr >= capacity(),
+                 "address 0x%llx outside module (capacity 0x%llx)",
+                 static_cast<unsigned long long>(addr),
+                 static_cast<unsigned long long>(capacity()));
+        std::uint64_t row_chunk = addr / rowBytes;
+        DecodedAddr d;
+        d.bank = static_cast<std::uint32_t>(row_chunk % banks);
+        d.row = row_chunk / banks;
+        d.column = addr % rowBytes;
+        return d;
+    }
+
+    /**
+     * Construct a geometry with the given capacity.
+     *
+     * @param bytes Desired capacity; must be a multiple of
+     *              banks * rowBytes.
+     */
+    static ModuleGeometry
+    withCapacity(std::uint64_t bytes, std::uint32_t banks = 16,
+                 std::uint64_t row_bytes = 8 * KiB)
+    {
+        ModuleGeometry g;
+        g.banks = banks;
+        g.rowBytes = row_bytes;
+        std::uint64_t per_bank = banks * row_bytes;
+        fatal_if(bytes == 0 || bytes % per_bank != 0,
+                 "module capacity %llu is not a multiple of "
+                 "banks*rowBytes (%llu)",
+                 static_cast<unsigned long long>(bytes),
+                 static_cast<unsigned long long>(per_bank));
+        g.rowsPerBank = bytes / per_bank;
+        return g;
+    }
+};
+
+} // namespace mem
+
+} // namespace profess
+
+#endif // PROFESS_MEM_GEOMETRY_HH

@@ -1,0 +1,65 @@
+#include "mem/memory_system.hh"
+
+namespace profess
+{
+
+namespace mem
+{
+
+MemorySystem::MemorySystem(EventQueue &eq,
+                           const MemorySystemConfig &cfg)
+    : cfg_(cfg)
+{
+    fatal_if(cfg.numChannels == 0, "need at least one channel");
+    ModuleGeometry g1 =
+        ModuleGeometry::withCapacity(cfg.m1BytesPerChannel);
+    ModuleGeometry g2 =
+        ModuleGeometry::withCapacity(cfg.m2BytesPerChannel);
+    channels_.reserve(cfg.numChannels);
+    for (unsigned i = 0; i < cfg.numChannels; ++i) {
+        channels_.push_back(std::make_unique<Channel>(
+            eq, cfg.m1, cfg.m2, g1, g2, cfg.energy, cfg.channel));
+    }
+}
+
+std::uint64_t
+MemorySystem::totalCounter(const std::string &name) const
+{
+    std::uint64_t total = 0;
+    for (const auto &c : channels_)
+        total += c->stats().counter(name);
+    return total;
+}
+
+double
+MemorySystem::totalJoules(double seconds) const
+{
+    double j = 0.0;
+    for (const auto &c : channels_)
+        j += c->energy().totalJoules(seconds);
+    return j;
+}
+
+double
+MemorySystem::averageWatts(double seconds) const
+{
+    return seconds > 0.0 ? totalJoules(seconds) / seconds : 0.0;
+}
+
+double
+MemorySystem::meanReadLatency() const
+{
+    // Weighted mean across channels.
+    double sum = 0.0;
+    std::uint64_t n = 0;
+    for (const auto &c : channels_) {
+        sum += c->readLatency().mean() *
+               static_cast<double>(c->readLatency().count());
+        n += c->readLatency().count();
+    }
+    return n > 0 ? sum / static_cast<double>(n) : 0.0;
+}
+
+} // namespace mem
+
+} // namespace profess

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Container of the hybrid memory channels of one system.
+ *
+ * Channel selection (interleaving of swap groups across channels) is
+ * performed by the hybrid memory controller; this class owns the
+ * channels and aggregates their statistics and energy accounts.
+ */
+
+#ifndef PROFESS_MEM_MEMORY_SYSTEM_HH
+#define PROFESS_MEM_MEMORY_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/event.hh"
+#include "mem/channel.hh"
+
+namespace profess
+{
+
+namespace mem
+{
+
+/** Configuration of a multi-channel hybrid memory. */
+struct MemorySystemConfig
+{
+    unsigned numChannels = 2;
+    std::uint64_t m1BytesPerChannel = 8 * MiB;
+    std::uint64_t m2BytesPerChannel = 64 * MiB;
+    TimingParams m1 = m1Timing();
+    TimingParams m2 = m2Timing();
+    EnergyParams energy{};
+    ChannelConfig channel{};
+};
+
+/** All channels of one system. */
+class MemorySystem
+{
+  public:
+    MemorySystem(EventQueue &eq, const MemorySystemConfig &cfg);
+
+    /** @return number of channels. */
+    unsigned numChannels() const
+    {
+        return static_cast<unsigned>(channels_.size());
+    }
+
+    /** @return channel by index. */
+    Channel &channel(unsigned i) { return *channels_[i]; }
+    const Channel &channel(unsigned i) const { return *channels_[i]; }
+
+    /** @return the configuration this system was built with. */
+    const MemorySystemConfig &config() const { return cfg_; }
+
+    /** @return sum of a named counter across channels. */
+    std::uint64_t totalCounter(const std::string &name) const;
+
+    /** @return total energy in joules over the given time. */
+    double totalJoules(double seconds) const;
+
+    /** @return average power in watts over the given time. */
+    double averageWatts(double seconds) const;
+
+    /** @return mean demand-read latency in MC cycles. */
+    double meanReadLatency() const;
+
+  private:
+    MemorySystemConfig cfg_;
+    std::vector<std::unique_ptr<Channel>> channels_;
+};
+
+} // namespace mem
+
+} // namespace profess
+
+#endif // PROFESS_MEM_MEMORY_SYSTEM_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Memory request descriptor exchanged between the hybrid memory
+ * controller and the channel timing model.
+ *
+ * Addresses here are *device* byte addresses within one module (M1 or
+ * M2) of one channel; the hybrid controller performs all original ->
+ * actual translation before a request reaches a channel.
+ */
+
+#ifndef PROFESS_MEM_REQUEST_HH
+#define PROFESS_MEM_REQUEST_HH
+
+#include <functional>
+#include <memory>
+
+#include "common/types.hh"
+
+namespace profess
+{
+
+namespace mem
+{
+
+/** Which module of a channel a request targets. */
+enum class Module : std::uint8_t { M1 = 0, M2 = 1 };
+
+/** What produced the request; drives statistics and scheduling. */
+enum class ReqClass : std::uint8_t
+{
+    Demand = 0, ///< CPU load/store miss
+    St = 1,     ///< swap-group-table fill or writeback
+    Swap = 2,   ///< block migration traffic
+};
+
+/** A single 64-B memory request. */
+struct Request
+{
+    Module module = Module::M1;
+    bool isWrite = false;
+    ReqClass cls = ReqClass::Demand;
+    Addr addr = 0;             ///< device byte address within module
+    ProgramId program = invalidProgram;
+    Tick enqueueTick = 0;      ///< set by the channel on push
+    Tick completeTick = 0;     ///< set by the channel on completion
+
+    /** Invoked at data completion (reads and writes). */
+    std::function<void(Request &)> onComplete;
+};
+
+using RequestPtr = std::unique_ptr<Request>;
+
+} // namespace mem
+
+} // namespace profess
+
+#endif // PROFESS_MEM_REQUEST_HH

@@ -1,0 +1,64 @@
+#include "mem/timing.hh"
+
+namespace profess
+{
+
+namespace mem
+{
+
+TimingParams
+m1Timing()
+{
+    TimingParams p;
+    p.tRCD = nsToCycles(13.75);
+    p.tRP = nsToCycles(13.75);
+    p.tCL = nsToCycles(13.75);
+    p.tWL = p.tCL > 1 ? p.tCL - 1 : 1;
+    p.tWR = nsToCycles(15.0);
+    p.tRAS = nsToCycles(35.0);
+    p.tRC = p.tRAS + p.tRP;
+    p.tBurst = 4;
+    p.tRTW = 3;
+    p.tWTR = 6;
+    // DDR4 refresh: tREFI = 7.8 us, tRFC = 350 ns.
+    p.tREFI = nsToCycles(7800.0);
+    p.tRFC = nsToCycles(350.0);
+    return p;
+}
+
+Cycles
+swapLatencyCycles(const TimingParams &m1, const TimingParams &m2,
+                  std::uint64_t block_bytes)
+{
+    Cycles bursts = ceilDiv(block_bytes, 64) * m1.tBurst;
+    Cycles m1_read_done = m1.tRP + m1.tRCD + m1.tCL + bursts;
+    Cycles m2_col_ready = m2.tRP + m2.tRCD + m2.tCL;
+    Cycles read_phase =
+        (m1_read_done > m2_col_ready ? m1_read_done : m2_col_ready) +
+        bursts;
+    Cycles write_phase = m2.tRTW + m2.tWL + bursts + m2.tWR;
+    return read_phase + write_phase;
+}
+
+TimingParams
+m2Timing(double wr_scale)
+{
+    TimingParams m1 = m1Timing();
+    TimingParams p = m1;
+    p.tRCD = nsToCycles(137.50);
+    p.tWR = nsToCycles(275.0 * wr_scale);
+    // Keep the row open at least as long as it takes to deliver a
+    // column after activation (Sec. 4.1: "appropriately adjust tRAS
+    // and tRC of M2").
+    p.tRAS = p.tRCD + (m1.tRAS - m1.tRCD);
+    p.tRC = p.tRAS + p.tRP;
+    // NVM needs no refresh.
+    p.tREFI = 0;
+    p.tRFC = 0;
+    p.writeRecoveryPerAccess = true;
+    return p;
+}
+
+} // namespace mem
+
+} // namespace profess

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * DRAM / NVM device timing parameters (paper Table 8).
+ *
+ * All values are stored in memory-controller clock cycles.  The
+ * channel runs at 0.8 GHz (1.6 GHz DDR), so one MC cycle is 1.25 ns
+ * and a 64-B cache line (burst of 8 on a 64-bit channel) occupies the
+ * data bus for 4 MC cycles.
+ *
+ * M1 is DDR4-like DRAM; M2 is an NVM with tRCD ten times that of M1
+ * and tWR = 2 x tRCD_M2 (Sec. 4.1), no refresh, and tRAS/tRC adjusted
+ * accordingly.
+ */
+
+#ifndef PROFESS_MEM_TIMING_HH
+#define PROFESS_MEM_TIMING_HH
+
+#include "common/types.hh"
+
+namespace profess
+{
+
+namespace mem
+{
+
+/** Timing parameters of one memory module, in MC cycles. */
+struct TimingParams
+{
+    Cycles tRCD = 11;   ///< row-to-column delay (13.75 ns)
+    Cycles tRP = 11;    ///< precharge (13.75 ns)
+    Cycles tCL = 11;    ///< CAS (read) latency (13.75 ns)
+    Cycles tWL = 10;    ///< write (CAS write) latency
+    Cycles tWR = 12;    ///< write recovery (15 ns)
+    Cycles tRAS = 28;   ///< minimum row-open time (35 ns)
+    Cycles tRC = 39;    ///< tRAS + tRP
+    Cycles tBurst = 4;  ///< 64-B data transfer (8 beats DDR)
+    Cycles tRTW = 3;    ///< read-to-write bus turnaround
+    Cycles tWTR = 6;    ///< write-to-read turnaround
+    Cycles tREFI = 0;   ///< refresh interval (0 = no refresh)
+    Cycles tRFC = 0;    ///< refresh cycle time
+    /**
+     * NVM cell writes drain through the row buffer: the bank is
+     * busy for tWR after each write burst, not only before a
+     * precharge as in DRAM (Sec. 2.1: NVM writes are highly
+     * asymmetric; this is what makes M2-resident write-heavy data
+     * so costly and migration of it so profitable).
+     */
+    bool writeRecoveryPerAccess = false;
+
+    /** Scale write recovery (sensitivity study, Sec. 5.2). */
+    TimingParams
+    withWriteRecovery(Cycles wr) const
+    {
+        TimingParams p = *this;
+        p.tWR = wr;
+        return p;
+    }
+};
+
+/** MC cycles per nanosecond is 0.8 (1 cycle = 1.25 ns). */
+constexpr double mcCyclesPerNs = 0.8;
+
+/** Convert nanoseconds to MC cycles (rounded up). */
+constexpr Cycles
+nsToCycles(double ns)
+{
+    double c = ns * mcCyclesPerNs;
+    auto whole = static_cast<Cycles>(c);
+    return (c > static_cast<double>(whole)) ? whole + 1 : whole;
+}
+
+/** @return DDR4-like M1 timing (Table 8, Micron DDR4 values). */
+TimingParams m1Timing();
+
+/**
+ * Analytic latency of one fast swap (Sec. 4.1).
+ *
+ * Read phase: the M1 block read overlaps the M2 row activation, the
+ * M2 bursts then serialize on the shared bus.  Write phase: M2 write
+ * bursts followed by tWR_M2, under which the M1 write hides.  For
+ * Table 8 parameters and 2-KiB blocks this evaluates to ~812 ns,
+ * within 2% of the paper's 796.25 ns.
+ *
+ * @param m1 M1 timing.
+ * @param m2 M2 timing.
+ * @param block_bytes Swap block size.
+ * @return Latency in MC cycles.
+ */
+Cycles swapLatencyCycles(const TimingParams &m1,
+                         const TimingParams &m2,
+                         std::uint64_t block_bytes);
+
+/**
+ * @return NVM M2 timing (Table 8): tRCD = 10 x M1, tWR = 2 x tRCD_M2,
+ *         tRAS/tRC adjusted, no refresh; other timings as M1.
+ *
+ * @param wr_scale Multiplier on tWR_M2 for the write-latency
+ *                 sensitivity study (default 1.0).
+ */
+TimingParams m2Timing(double wr_scale = 1.0);
+
+} // namespace mem
+
+} // namespace profess
+
+#endif // PROFESS_MEM_TIMING_HH

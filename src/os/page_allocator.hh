@@ -1,0 +1,133 @@
+/**
+ * @file
+ * OS physical-page allocation with region awareness (Sec. 3.1.1).
+ *
+ * The OS allocates 4-KiB frames of the *original* physical address
+ * space on first touch.  RSM requires that the OS keep per-region
+ * free lists and dedicate one private region per program: frames of
+ * a private region are handed out only to the owning program, while
+ * shared-region frames go to anyone.  Swaps remain invisible to the
+ * OS (they permute *actual* locations within a swap group, and the
+ * region of a swap group never changes).
+ *
+ * Region geometry follows Fig. 3: a 4-KiB page covers two consecutive
+ * swap groups, and consecutive group pairs map to regions
+ * 0, 1, ..., R-1, 0, 1, ...  Hence frame f belongs to region
+ * (f mod (G/2)) mod R, where G is the number of swap groups.
+ */
+
+#ifndef PROFESS_OS_PAGE_ALLOCATOR_HH
+#define PROFESS_OS_PAGE_ALLOCATOR_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace profess
+{
+
+namespace os
+{
+
+constexpr std::uint64_t pageBytes = 4 * KiB;
+
+/** Answers "which program owns this original block?" queries. */
+class BlockOwnerOracle
+{
+  public:
+    virtual ~BlockOwnerOracle() = default;
+
+    /**
+     * @param original_block Original-space 2-KiB block index.
+     * @return Owning program, or invalidProgram if unallocated.
+     */
+    virtual ProgramId
+    ownerOfBlock(std::uint64_t original_block) const = 0;
+};
+
+/** First-touch page allocator with per-region free lists. */
+class PageAllocator : public BlockOwnerOracle
+{
+  public:
+    /**
+     * @param num_groups Number of swap groups G (even, multiple of
+     *        2 * num_regions for uniform regions).
+     * @param slots_per_group Locations per swap group (9 for 1:8).
+     * @param num_regions Number of interleaved regions R.
+     * @param num_programs Programs; program i owns private region i.
+     * @param seed Seed for randomized placement within regions.
+     */
+    PageAllocator(std::uint64_t num_groups, unsigned slots_per_group,
+                  unsigned num_regions, unsigned num_programs,
+                  std::uint64_t seed = 7);
+
+    /** @return total number of 4-KiB frames. */
+    std::uint64_t numFrames() const { return numFrames_; }
+
+    /** @return number of regions. */
+    unsigned numRegions() const { return numRegions_; }
+
+    /** @return region of a frame. */
+    unsigned regionOfFrame(std::uint64_t frame) const;
+
+    /** @return region of a swap group (Fig. 3). */
+    unsigned regionOfGroup(std::uint64_t group) const;
+
+    /**
+     * @return the program whose private region this is, or
+     *         invalidProgram for shared regions.
+     */
+    ProgramId privateOwner(unsigned region) const;
+
+    /** @return the private region of a program. */
+    unsigned privateRegionOf(ProgramId p) const;
+
+    /**
+     * Translate a virtual page, allocating on first touch.
+     *
+     * @param program Accessing program.
+     * @param vpage Virtual page number.
+     * @return Frame number.
+     */
+    std::uint64_t translate(ProgramId program, std::uint64_t vpage);
+
+    /** @return frames currently allocated to a program. */
+    std::uint64_t allocatedFrames(ProgramId p) const;
+
+    /** @return free frames remaining in a region. */
+    std::uint64_t freeFramesInRegion(unsigned region) const;
+
+    /** Release all frames of a program (program termination). */
+    void releaseProgram(ProgramId p);
+
+    // BlockOwnerOracle
+    ProgramId ownerOfBlock(std::uint64_t original_block) const override;
+
+  private:
+    std::uint64_t pickFrame(ProgramId program);
+
+    std::uint64_t numGroups_;
+    std::uint64_t numFrames_;
+    unsigned numRegions_;
+    unsigned numPrograms_;
+    Rng rng_;
+
+    /** Per-region stack of free frames (randomized order). */
+    std::vector<std::vector<std::uint64_t>> freeLists_;
+    /** Per-program round-robin cursor over regions. */
+    std::vector<unsigned> cursor_;
+    /** frame -> owner (invalidProgram if free). */
+    std::vector<ProgramId> owner_;
+    /** Per-program page table: vpage -> frame. */
+    std::vector<std::unordered_map<std::uint64_t, std::uint64_t>>
+        pageTables_;
+};
+
+} // namespace os
+
+} // namespace profess
+
+#endif // PROFESS_OS_PAGE_ALLOCATOR_HH

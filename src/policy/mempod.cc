@@ -1,0 +1,76 @@
+#include "policy/mempod.hh"
+
+#include <algorithm>
+
+namespace profess
+{
+
+namespace policy
+{
+
+MemPodPolicy::MemPodPolicy(unsigned num_pods, unsigned channels,
+                           const Params &p)
+    : params_(p), channels_(channels), pods_(num_pods)
+{
+    fatal_if(num_pods == 0, "MemPod needs at least one pod");
+}
+
+Decision
+MemPodPolicy::onM2Access(const AccessInfo &info)
+{
+    Pod &pod = pods_[info.group % channels_ % pods_.size()];
+    BlockKey key = keyOf(info.group, info.slot);
+    auto it = pod.counters.find(key);
+    if (it != pod.counters.end()) {
+        ++it->second;
+    } else if (pod.counters.size() < params_.countersPerPod) {
+        pod.counters.emplace(key, 1);
+    } else {
+        // MEA: decrement everyone; drop zeros to free counters.
+        for (auto cit = pod.counters.begin();
+             cit != pod.counters.end();) {
+            if (--cit->second == 0)
+                cit = pod.counters.erase(cit);
+            else
+                ++cit;
+        }
+    }
+    // MemPod never migrates on the access path.
+    return Decision::NoSwap;
+}
+
+void
+MemPodPolicy::onPeriodic()
+{
+    if (host_ == nullptr)
+        return;
+    for (Pod &pod : pods_) {
+        // Promote the hottest tracked blocks first.
+        std::vector<std::pair<std::uint32_t, BlockKey>> order;
+        order.reserve(pod.counters.size());
+        for (const auto &kv : pod.counters)
+            order.emplace_back(kv.second, kv.first);
+        std::sort(order.begin(), order.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.first != b.first ? a.first > b.first
+                                                : a.second < b.second;
+                  });
+        unsigned issued = 0;
+        for (const auto &e : order) {
+            if (issued >= params_.maxMigrationsPerInterval)
+                break;
+            std::uint64_t group = e.second / hybrid::maxSlots;
+            unsigned slot =
+                static_cast<unsigned>(e.second % hybrid::maxSlots);
+            if (host_->requestSwap(group, slot)) {
+                ++requested_;
+                ++issued;
+            }
+        }
+        pod.counters.clear();
+    }
+}
+
+} // namespace policy
+
+} // namespace profess

@@ -1,0 +1,107 @@
+#include "policy/pom.hh"
+
+namespace profess
+{
+
+namespace policy
+{
+
+constexpr std::array<unsigned, 4> PomPolicy::thresholds;
+
+PomPolicy::PomPolicy(std::uint64_t num_groups, const Params &p)
+    : params_(p), groups_(num_groups),
+      active_(p.initialThreshold)
+{
+}
+
+Decision
+PomPolicy::onM2Access(const AccessInfo &info)
+{
+    GroupState &g = groups_[info.group];
+    unsigned w = info.isWrite ? writeWeight() : 1u;
+    if (g.challenger == info.slot) {
+        g.counter += static_cast<std::int32_t>(w);
+    } else {
+        g.counter -= static_cast<std::int32_t>(w);
+        if (g.counter < 0) {
+            g.challenger = static_cast<std::uint8_t>(info.slot);
+            g.counter = static_cast<std::int32_t>(w);
+        }
+    }
+    if (active_ == prohibited)
+        return Decision::NoSwap;
+    if (g.challenger == info.slot &&
+        g.counter >= static_cast<std::int32_t>(active_)) {
+        return Decision::Swap;
+    }
+    return Decision::NoSwap;
+}
+
+void
+PomPolicy::onM1Access(const AccessInfo &info)
+{
+    // Accesses to the incumbent weaken the challenger.
+    GroupState &g = groups_[info.group];
+    unsigned w = info.isWrite ? writeWeight() : 1u;
+    g.counter -= static_cast<std::int32_t>(w);
+    if (g.counter < 0)
+        g.counter = 0;
+}
+
+void
+PomPolicy::onStcEvict(std::uint64_t group,
+                      const hybrid::StcMeta &meta,
+                      hybrid::StEntry &entry)
+{
+    // Feed the epoch estimator with the final access counts of
+    // blocks that resided in M2 (candidates a threshold-t policy
+    // would have promoted after t accesses).
+    (void)group;
+    for (unsigned s = 0; s < hybrid::maxSlots; ++s) {
+        unsigned c = meta.ac[s];
+        if (c == 0 || entry.atb[s] == 0)
+            continue;
+        for (std::size_t t = 0; t < thresholds.size(); ++t) {
+            if (c >= thresholds[t]) {
+                hitGain_[t] += c - thresholds[t];
+                ++swapCount_[t];
+            }
+        }
+    }
+    if (++evictionsSinceAdapt_ >= params_.adaptEvictions)
+        adapt();
+}
+
+void
+PomPolicy::onSwapComplete(std::uint64_t group, unsigned, unsigned,
+                          ProgramId, ProgramId, bool)
+{
+    GroupState &g = groups_[group];
+    g.challenger = 0xff;
+    g.counter = 0;
+}
+
+void
+PomPolicy::adapt()
+{
+    evictionsSinceAdapt_ = 0;
+    ++adaptations_;
+    std::int64_t best_benefit = 0;
+    unsigned best = prohibited;
+    for (std::size_t t = 0; t < thresholds.size(); ++t) {
+        std::int64_t benefit =
+            static_cast<std::int64_t>(hitGain_[t]) -
+            static_cast<std::int64_t>(swapCount_[t]) * params_.k;
+        if (benefit > best_benefit) {
+            best_benefit = benefit;
+            best = thresholds[t];
+        }
+        hitGain_[t] = 0;
+        swapCount_[t] = 0;
+    }
+    active_ = best; // prohibited when no threshold is beneficial
+}
+
+} // namespace policy
+
+} // namespace profess

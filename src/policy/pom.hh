@@ -1,0 +1,106 @@
+/**
+ * @file
+ * PoM migration algorithm (Sim et al., MICRO 2014) - the paper's
+ * baseline (Secs. 2.3, 2.5, 4.1).
+ *
+ * Mechanism: each swap group keeps one competing counter tracking the
+ * current M2 challenger block (incremented on challenger accesses,
+ * decremented on accesses to other blocks, MEA-style; writes count as
+ * eight accesses, Sec. 4.1).  The challenger is promoted when its
+ * counter reaches the globally active threshold.
+ *
+ * Adaptivity: PoM picks the active threshold from {1, 6, 18, 48} (or
+ * prohibits migrations) per epoch, by estimating each threshold's
+ * benefit as (accesses that would have hit M1 after crossing the
+ * threshold) - K x (number of swaps), with K derived from the swap
+ * cost (K = 8 here, Sec. 4.1).  The per-block access counts feeding
+ * this estimate are taken from the STC access counters at ST-entry
+ * eviction, like the published scheme's epoch counters.
+ */
+
+#ifndef PROFESS_POLICY_POM_HH
+#define PROFESS_POLICY_POM_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "policy/policy.hh"
+
+namespace profess
+{
+
+namespace policy
+{
+
+/** PoM: competing counters + global adaptive threshold. */
+class PomPolicy : public MigrationPolicy
+{
+  public:
+    /** Candidate global thresholds (Table 2). */
+    static constexpr std::array<unsigned, 4> thresholds{1, 6, 18, 48};
+    /** Sentinel meaning "migrations prohibited this epoch". */
+    static constexpr unsigned prohibited = 0xffffffffu;
+
+    struct Params
+    {
+        unsigned k = 8; ///< swap cost in access-equivalents
+        std::uint64_t adaptEvictions = 1024; ///< epoch length
+        unsigned initialThreshold = 6;
+    };
+
+    /**
+     * @param num_groups Swap groups in the system.
+     * @param p Tuning parameters.
+     */
+    PomPolicy(std::uint64_t num_groups, const Params &p);
+
+    /** Default-parameter convenience constructor. */
+    explicit PomPolicy(std::uint64_t num_groups)
+        : PomPolicy(num_groups, Params{})
+    {
+    }
+
+    const char *name() const override { return "pom"; }
+    unsigned writeWeight() const override { return 8; }
+
+    Decision onM2Access(const AccessInfo &info) override;
+    void onM1Access(const AccessInfo &info) override;
+    void onStcEvict(std::uint64_t group, const hybrid::StcMeta &meta,
+                    hybrid::StEntry &entry) override;
+    void onSwapComplete(std::uint64_t group, unsigned promoted_slot,
+                        unsigned demoted_slot, ProgramId,
+                        ProgramId, bool) override;
+
+    /** @return currently active threshold (prohibited if none). */
+    unsigned activeThreshold() const { return active_; }
+
+    /** @return number of epoch adaptations so far. */
+    std::uint64_t adaptations() const { return adaptations_; }
+
+  private:
+    /** Per-group competing-counter state (lives in the ST entry). */
+    struct GroupState
+    {
+        std::uint8_t challenger = 0xff; ///< slot id, 0xff = none
+        std::int32_t counter = 0;
+    };
+
+    void adapt();
+
+    Params params_;
+    std::vector<GroupState> groups_;
+    unsigned active_;
+
+    /** Per-threshold epoch statistics. */
+    std::array<std::uint64_t, thresholds.size()> hitGain_{};
+    std::array<std::uint64_t, thresholds.size()> swapCount_{};
+    std::uint64_t evictionsSinceAdapt_ = 0;
+    std::uint64_t adaptations_ = 0;
+};
+
+} // namespace policy
+
+} // namespace profess
+
+#endif // PROFESS_POLICY_POM_HH

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * SILC-FM-style migration policy (Ryoo et al., HPCA 2017; Table 2).
+ *
+ * Promote after a global threshold of one access, but protect hot
+ * M1-resident blocks: a block whose aging access counter exceeds 50
+ * is locked in M1 and cannot be displaced.  Counters age (halve)
+ * periodically.  SILC-FM's set-associative mapping and sub-blocking
+ * are orthogonal to the migration decision (Sec. 2.3) and are not
+ * modelled; all algorithms run on the same PoM organization.
+ */
+
+#ifndef PROFESS_POLICY_SILCFM_HH
+#define PROFESS_POLICY_SILCFM_HH
+
+#include <vector>
+
+#include "policy/policy.hh"
+
+namespace profess
+{
+
+namespace policy
+{
+
+/** Threshold-1 promotion with aging lock counters. */
+class SilcFmPolicy : public MigrationPolicy
+{
+  public:
+    /**
+     * @param num_groups Swap groups in the system.
+     * @param lock_threshold Lock an M1 block above this count.
+     * @param aging_interval_ticks Halve counters this often.
+     */
+    explicit SilcFmPolicy(std::uint64_t num_groups,
+                          unsigned lock_threshold = 50,
+                          Cycles aging_interval_ticks = 80000)
+        : lockThreshold_(lock_threshold),
+          agingInterval_(aging_interval_ticks),
+          lockCounter_(num_groups, 0)
+    {
+    }
+
+    const char *name() const override { return "silcfm"; }
+    unsigned writeWeight() const override { return 1; }
+    bool slowSwap() const override { return true; } // Table 1
+
+    Decision
+    onM2Access(const AccessInfo &info) override
+    {
+        if (lockCounter_[info.group] > lockThreshold_)
+            return Decision::NoSwap;
+        return Decision::Swap;
+    }
+
+    void
+    onM1Access(const AccessInfo &info) override
+    {
+        unsigned v = lockCounter_[info.group] + 1;
+        lockCounter_[info.group] =
+            static_cast<std::uint8_t>(v > 255 ? 255 : v);
+    }
+
+    void
+    onSwapComplete(std::uint64_t group, unsigned, unsigned,
+                   ProgramId, ProgramId, bool) override
+    {
+        lockCounter_[group] = 0; // new M1 occupant starts cold
+    }
+
+    Cycles periodicInterval() const override { return agingInterval_; }
+
+    void
+    onPeriodic() override
+    {
+        for (auto &c : lockCounter_)
+            c = static_cast<std::uint8_t>(c >> 1);
+    }
+
+  private:
+    unsigned lockThreshold_;
+    Cycles agingInterval_;
+    std::vector<std::uint8_t> lockCounter_;
+};
+
+} // namespace policy
+
+} // namespace profess
+
+#endif // PROFESS_POLICY_SILCFM_HH

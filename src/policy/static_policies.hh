@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Trivial migration policies used as reference points and in tests.
+ *
+ * NeverPolicy pins data where the OS allocated it (no migrations),
+ * i.e., a static hybrid memory.  AlwaysPolicy promotes on every M2
+ * access, the pathological extreme discussed in Sec. 2.5.
+ */
+
+#ifndef PROFESS_POLICY_STATIC_POLICIES_HH
+#define PROFESS_POLICY_STATIC_POLICIES_HH
+
+#include "policy/policy.hh"
+
+namespace profess
+{
+
+namespace policy
+{
+
+/** No migrations at all. */
+class NeverPolicy : public MigrationPolicy
+{
+  public:
+    const char *name() const override { return "never"; }
+    unsigned writeWeight() const override { return 1; }
+
+    Decision
+    onM2Access(const AccessInfo &info) override
+    {
+        (void)info;
+        return Decision::NoSwap;
+    }
+};
+
+/** Swap on every access to M2. */
+class AlwaysPolicy : public MigrationPolicy
+{
+  public:
+    const char *name() const override { return "always"; }
+    unsigned writeWeight() const override { return 1; }
+
+    Decision
+    onM2Access(const AccessInfo &info) override
+    {
+        (void)info;
+        return Decision::Swap;
+    }
+};
+
+} // namespace policy
+
+} // namespace profess
+
+#endif // PROFESS_POLICY_STATIC_POLICIES_HH

@@ -1,0 +1,149 @@
+#include "sim/experiment.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace profess
+{
+
+namespace sim
+{
+
+std::uint64_t
+ExperimentRunner::instrFromEnv(std::uint64_t def)
+{
+    const char *s = std::getenv("PROFESS_INSTR");
+    if (s == nullptr || *s == '\0')
+        return def;
+    char *end = nullptr;
+    std::uint64_t v = std::strtoull(s, &end, 0);
+    fatal_if(end == s || *end != '\0' || v == 0,
+             "PROFESS_INSTR='%s' is not a positive integer", s);
+    return v;
+}
+
+RunResult
+ExperimentRunner::run(const std::string &policy,
+                      const std::vector<std::string> &programs,
+                      std::uint64_t seed_base)
+{
+    std::vector<std::unique_ptr<trace::TraceSource>> sources;
+    sources.reserve(programs.size());
+    for (std::size_t i = 0; i < programs.size(); ++i) {
+        sources.push_back(trace::makeSpecSource(
+            programs[i], footprintScale_,
+            seed_base + 1009 * (i + 1)));
+    }
+
+    System sys(base_, policy, std::move(sources));
+    RunResult r;
+    r.policy = policy;
+    r.programs = programs;
+    r.completed = sys.run();
+
+    unsigned n = sys.numPrograms();
+    std::uint64_t served_m1_total = 0;
+    for (unsigned i = 0; i < n; ++i) {
+        r.ipc.push_back(sys.core(i).quotaReached()
+                            ? sys.core(i).ipcAtQuota()
+                            : 0.0);
+        const auto &ps =
+            sys.controller().programStats(static_cast<ProgramId>(i));
+        r.served.push_back(ps.served);
+        r.servedM1.push_back(ps.servedFromM1);
+        served_m1_total += ps.servedFromM1;
+    }
+    // All memory-side statistics were reset at the warm-up
+    // boundary, so energy integrates over the measurement window.
+    r.seconds = sys.measuredSeconds();
+    r.joules = sys.memory().totalJoules(r.seconds);
+    r.watts = sys.memory().averageWatts(r.seconds);
+    r.servedTotal = sys.controller().servedTotal();
+    r.swaps = sys.controller().swapCount();
+    r.stcHitRate = sys.controller().stcHitRate();
+    r.meanReadLatencyNs =
+        sys.memory().meanReadLatency() / mem::mcCyclesPerNs;
+    r.m1Fraction =
+        r.servedTotal > 0
+            ? static_cast<double>(served_m1_total) /
+                  static_cast<double>(r.servedTotal)
+            : 0.0;
+    r.swapFraction =
+        r.servedTotal > 0
+            ? static_cast<double>(r.swaps) /
+                  static_cast<double>(r.servedTotal)
+            : 0.0;
+    std::uint64_t m2_writes = 0;
+    std::uint64_t demand_writes = 0;
+    for (unsigned c = 0; c < sys.memory().numChannels(); ++c) {
+        m2_writes +=
+            sys.memory().channel(c).energy().m2WriteBursts();
+        demand_writes +=
+            sys.memory().channel(c).stats().counter("demand_writes");
+    }
+    std::uint64_t swap_bursts =
+        r.swaps * (sys.controller().layout().blockBytes / 64);
+    std::uint64_t m2_demand_writes =
+        m2_writes > swap_bursts ? m2_writes - swap_bursts : 0;
+    r.m2WriteFraction =
+        demand_writes > 0
+            ? static_cast<double>(m2_demand_writes) /
+                  static_cast<double>(demand_writes)
+            : 0.0;
+    std::uint64_t row_hits =
+        sys.memory().totalCounter("row_hits");
+    std::uint64_t row_misses =
+        sys.memory().totalCounter("row_misses");
+    r.rowHitRate =
+        row_hits + row_misses > 0
+            ? static_cast<double>(row_hits) /
+                  static_cast<double>(row_hits + row_misses)
+            : 0.0;
+    return r;
+}
+
+double
+ExperimentRunner::aloneIpc(const std::string &policy,
+                           const std::string &program)
+{
+    std::string key = policy + "/" + program;
+    auto it = aloneCache_.find(key);
+    if (it != aloneCache_.end())
+        return it->second;
+    RunResult r = run(policy, {program});
+    fatal_if(!r.completed, "stand-alone run of %s did not complete",
+             program.c_str());
+    aloneCache_[key] = r.ipc[0];
+    return r.ipc[0];
+}
+
+MultiMetrics
+ExperimentRunner::runMulti(const std::string &policy,
+                           const WorkloadSpec &workload)
+{
+    std::vector<std::string> programs(workload.programs.begin(),
+                                      workload.programs.end());
+    MultiMetrics m;
+    m.run = run(policy, programs);
+    for (const auto &p : programs)
+        m.aloneIpc.push_back(aloneIpc(policy, p));
+    m.slowdown = slowdowns(m.aloneIpc, m.run.ipc);
+    m.weightedSpeedup = weightedSpeedup(m.slowdown);
+    m.maxSlowdown = unfairness(m.slowdown);
+    m.efficiency =
+        energyEfficiency(m.run.servedTotal, m.run.joules);
+    return m;
+}
+
+std::string
+percentDelta(double ratio)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%+.1f%%",
+                  (ratio - 1.0) * 100.0);
+    return buf;
+}
+
+} // namespace sim
+
+} // namespace profess

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Experiment harness: builds systems, runs workloads, computes the
+ * paper's metrics, and caches stand-alone (IPC_SP) reference runs.
+ *
+ * Used by every benchmark binary in bench/ to regenerate the
+ * paper's tables and figures.
+ */
+
+#ifndef PROFESS_SIM_EXPERIMENT_HH
+#define PROFESS_SIM_EXPERIMENT_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/metrics.hh"
+#include "sim/system.hh"
+#include "sim/workloads.hh"
+#include "trace/spec_profiles.hh"
+
+namespace profess
+{
+
+namespace sim
+{
+
+/** Aggregate results of one workload run. */
+struct RunResult
+{
+    std::string policy;
+    std::vector<std::string> programs;
+    std::vector<double> ipc;              ///< per program (at quota)
+    std::vector<std::uint64_t> served;    ///< per program
+    std::vector<std::uint64_t> servedM1;  ///< per program
+    double seconds = 0.0;
+    double joules = 0.0;
+    double watts = 0.0;
+    std::uint64_t servedTotal = 0;
+    std::uint64_t swaps = 0;
+    double stcHitRate = 0.0;
+    double meanReadLatencyNs = 0.0;
+    double m1Fraction = 0.0;   ///< fraction of accesses from M1
+    double swapFraction = 0.0; ///< swaps / served requests
+    double rowHitRate = 0.0;   ///< device row-buffer hit rate
+    /** Fraction of demand writes that landed in M2 (Sec. 5.2). */
+    double m2WriteFraction = 0.0;
+    bool completed = false;
+};
+
+/** Multi-program run with slowdown-based metrics attached. */
+struct MultiMetrics
+{
+    RunResult run;
+    std::vector<double> aloneIpc;
+    std::vector<double> slowdown;
+    double weightedSpeedup = 0.0;
+    double maxSlowdown = 0.0;
+    double efficiency = 0.0; ///< requests / joule
+};
+
+/** The harness. */
+class ExperimentRunner
+{
+  public:
+    /**
+     * @param base Base system configuration used for every run.
+     * @param footprint_scale Scale of Table 9 footprints (matches
+     *        the capacity scaling of `base`).
+     */
+    explicit ExperimentRunner(
+        const SystemConfig &base,
+        double footprint_scale = trace::defaultScale)
+        : base_(base), footprintScale_(footprint_scale)
+    {
+    }
+
+    /** @return the base configuration (mutable for sweeps). */
+    SystemConfig &config() { return base_; }
+
+    /**
+     * Run a set of programs under a policy.
+     *
+     * @param policy Policy name (see System).
+     * @param programs Table 9 benchmark names, one per core.
+     * @param seed_base Base RNG seed (slot index is mixed in).
+     */
+    RunResult run(const std::string &policy,
+                  const std::vector<std::string> &programs,
+                  std::uint64_t seed_base = 1);
+
+    /**
+     * Stand-alone IPC of a program under a policy on the base
+     * system (cached across calls).
+     */
+    double aloneIpc(const std::string &policy,
+                    const std::string &program);
+
+    /** Run a Table 10 workload and attach slowdown metrics. */
+    MultiMetrics runMulti(const std::string &policy,
+                          const WorkloadSpec &workload);
+
+    /** Clear the stand-alone IPC cache (after config changes). */
+    void clearCache() { aloneCache_.clear(); }
+
+    /**
+     * @return instruction quota from the PROFESS_INSTR environment
+     *         variable, or `def` when unset.
+     */
+    static std::uint64_t instrFromEnv(std::uint64_t def);
+
+  private:
+    SystemConfig base_;
+    double footprintScale_;
+    std::map<std::string, double> aloneCache_;
+};
+
+/** Format a ratio as "+12.3%" / "-4.5%" (reporting helper). */
+std::string percentDelta(double ratio);
+
+} // namespace sim
+
+} // namespace profess
+
+#endif // PROFESS_SIM_EXPERIMENT_HH

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Figures of merit (Sec. 4.3).
+ *
+ * slowdown_i       = IPC_SP,i / IPC_MP,i                     (Eq. 1)
+ * weighted speedup = sum_i (1 / slowdown_i)     [Eyerman & Eeckhout]
+ * unfairness       = max_i slowdown_i
+ * energy efficiency = requests served per second per watt
+ */
+
+#ifndef PROFESS_SIM_METRICS_HH
+#define PROFESS_SIM_METRICS_HH
+
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace profess
+{
+
+namespace sim
+{
+
+/** @return per-program slowdowns from alone/contended IPCs. */
+inline std::vector<double>
+slowdowns(const std::vector<double> &ipc_alone,
+          const std::vector<double> &ipc_contended)
+{
+    panic_if(ipc_alone.size() != ipc_contended.size(),
+             "mismatched IPC vectors");
+    std::vector<double> s(ipc_alone.size());
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        panic_if(ipc_contended[i] <= 0.0, "non-positive IPC");
+        s[i] = ipc_alone[i] / ipc_contended[i];
+    }
+    return s;
+}
+
+/** @return weighted speedup = sum of reciprocal slowdowns. */
+inline double
+weightedSpeedup(const std::vector<double> &sdn)
+{
+    double ws = 0.0;
+    for (double s : sdn) {
+        panic_if(s <= 0.0, "non-positive slowdown");
+        ws += 1.0 / s;
+    }
+    return ws;
+}
+
+/** @return unfairness = maximum slowdown. */
+inline double
+unfairness(const std::vector<double> &sdn)
+{
+    panic_if(sdn.empty(), "empty slowdown vector");
+    double m = sdn[0];
+    for (double s : sdn)
+        m = s > m ? s : m;
+    return m;
+}
+
+/**
+ * @param requests Demand requests served.
+ * @param joules Total memory-system energy.
+ * @return Requests per second per watt (= requests per joule).
+ */
+inline double
+energyEfficiency(std::uint64_t requests, double joules)
+{
+    panic_if(joules <= 0.0, "non-positive energy");
+    return static_cast<double>(requests) / joules;
+}
+
+} // namespace sim
+
+} // namespace profess
+
+#endif // PROFESS_SIM_METRICS_HH

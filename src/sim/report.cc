@@ -1,0 +1,101 @@
+#include "sim/report.hh"
+
+#include <cstdarg>
+#include <cstdlib>
+#include <sys/stat.h>
+
+#include "common/logging.hh"
+
+namespace profess
+{
+
+namespace sim
+{
+
+CsvReport::CsvReport(const std::string &path,
+                     const std::string &header)
+{
+    if (path.empty())
+        return;
+    struct stat st;
+    bool fresh = ::stat(path.c_str(), &st) != 0 || st.st_size == 0;
+    fp_ = std::fopen(path.c_str(), "a");
+    if (fp_ == nullptr) {
+        warn("cannot open CSV report '%s'", path.c_str());
+        return;
+    }
+    if (fresh)
+        std::fprintf(fp_, "%s\n", header.c_str());
+}
+
+CsvReport::~CsvReport()
+{
+    if (fp_)
+        std::fclose(fp_);
+}
+
+void
+CsvReport::row(const char *fmt, ...)
+{
+    if (!fp_)
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    std::vfprintf(fp_, fmt, ap);
+    va_end(ap);
+    std::fprintf(fp_, "\n");
+}
+
+const char *
+CsvReport::runHeader()
+{
+    return "experiment,workload,policy,ipc0,m1_fraction,"
+           "swap_fraction,stc_hit_rate,read_latency_ns,watts,"
+           "served,swaps";
+}
+
+void
+CsvReport::runRow(const std::string &experiment,
+                  const std::string &workload, const RunResult &r)
+{
+    row("%s,%s,%s,%.6f,%.6f,%.6f,%.6f,%.3f,%.4f,%llu,%llu",
+        experiment.c_str(), workload.c_str(), r.policy.c_str(),
+        r.ipc.empty() ? 0.0 : r.ipc[0], r.m1Fraction,
+        r.swapFraction, r.stcHitRate, r.meanReadLatencyNs, r.watts,
+        static_cast<unsigned long long>(r.servedTotal),
+        static_cast<unsigned long long>(r.swaps));
+}
+
+const char *
+CsvReport::multiHeader()
+{
+    return "experiment,workload,policy,weighted_speedup,"
+           "max_slowdown,efficiency,swap_fraction,sdn0,sdn1,sdn2,"
+           "sdn3";
+}
+
+void
+CsvReport::multiRow(const std::string &experiment,
+                    const std::string &workload,
+                    const MultiMetrics &m)
+{
+    auto sdn = [&](std::size_t i) {
+        return i < m.slowdown.size() ? m.slowdown[i] : 0.0;
+    };
+    row("%s,%s,%s,%.6f,%.6f,%.6e,%.6f,%.4f,%.4f,%.4f,%.4f",
+        experiment.c_str(), workload.c_str(),
+        m.run.policy.c_str(), m.weightedSpeedup, m.maxSlowdown,
+        m.efficiency, m.run.swapFraction, sdn(0), sdn(1), sdn(2),
+        sdn(3));
+}
+
+std::string
+CsvReport::csvDir()
+{
+    const char *d = std::getenv("PROFESS_CSV");
+    return d ? d : "";
+}
+
+} // namespace sim
+
+} // namespace profess

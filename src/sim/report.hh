@@ -1,0 +1,77 @@
+/**
+ * @file
+ * CSV reporting of experiment results.
+ *
+ * Every benchmark binary can export machine-readable rows alongside
+ * its human-readable tables (set PROFESS_CSV=<dir>); downstream
+ * plotting scripts regenerate the paper's figures from these files.
+ */
+
+#ifndef PROFESS_SIM_REPORT_HH
+#define PROFESS_SIM_REPORT_HH
+
+#include <cstdio>
+#include <string>
+
+#include "sim/experiment.hh"
+
+namespace profess
+{
+
+namespace sim
+{
+
+/** Append-only CSV writer with a fixed header per file. */
+class CsvReport
+{
+  public:
+    /**
+     * Open (create or append) a CSV file.
+     *
+     * @param path Output path; empty disables all writes.
+     * @param header Comma-separated column names, written only when
+     *        the file is created fresh.
+     */
+    CsvReport(const std::string &path, const std::string &header);
+    ~CsvReport();
+
+    CsvReport(const CsvReport &) = delete;
+    CsvReport &operator=(const CsvReport &) = delete;
+
+    /** @return true when writing is enabled. */
+    bool enabled() const { return fp_ != nullptr; }
+
+    /** Append one formatted row (no trailing newline needed). */
+    void row(const char *fmt, ...)
+        __attribute__((format(printf, 2, 3)));
+
+    /** Append the standard columns of one RunResult. */
+    void runRow(const std::string &experiment,
+                const std::string &workload, const RunResult &r);
+
+    /** Append the standard columns of one MultiMetrics. */
+    void multiRow(const std::string &experiment,
+                  const std::string &workload,
+                  const MultiMetrics &m);
+
+    /** Header matching runRow(). */
+    static const char *runHeader();
+
+    /** Header matching multiRow(). */
+    static const char *multiHeader();
+
+    /**
+     * @return directory from PROFESS_CSV, or "" when unset
+     *         (reporting disabled).
+     */
+    static std::string csvDir();
+
+  private:
+    std::FILE *fp_ = nullptr;
+};
+
+} // namespace sim
+
+} // namespace profess
+
+#endif // PROFESS_SIM_REPORT_HH

@@ -1,0 +1,48 @@
+#include "sim/workloads.hh"
+
+namespace profess
+{
+
+namespace sim
+{
+
+const std::vector<WorkloadSpec> &
+multiprogramWorkloads()
+{
+    static const std::vector<WorkloadSpec> table = {
+        {"w01", {"mcf", "libquantum", "leslie3d", "lbm"}},
+        {"w02", {"soplex", "GemsFDTD", "omnetpp", "zeusmp"}},
+        {"w03", {"milc", "bwaves", "lbm", "lbm"}},
+        {"w04", {"libquantum", "bwaves", "leslie3d", "omnetpp"}},
+        {"w05", {"mcf", "bwaves", "zeusmp", "GemsFDTD"}},
+        {"w06", {"soplex", "libquantum", "lbm", "omnetpp"}},
+        {"w07", {"milc", "GemsFDTD", "bwaves", "leslie3d"}},
+        {"w08", {"soplex", "leslie3d", "lbm", "zeusmp"}},
+        {"w09", {"mcf", "soplex", "lbm", "GemsFDTD"}},
+        {"w10", {"libquantum", "leslie3d", "omnetpp", "zeusmp"}},
+        {"w11", {"soplex", "bwaves", "lbm", "libquantum"}},
+        {"w12", {"milc", "GemsFDTD", "soplex", "lbm"}},
+        {"w13", {"mcf", "soplex", "bwaves", "zeusmp"}},
+        {"w14", {"GemsFDTD", "soplex", "omnetpp", "libquantum"}},
+        {"w15", {"leslie3d", "omnetpp", "lbm", "zeusmp"}},
+        {"w16", {"libquantum", "libquantum", "bwaves", "zeusmp"}},
+        {"w17", {"mcf", "mcf", "omnetpp", "leslie3d"}},
+        {"w18", {"mcf", "milc", "milc", "GemsFDTD"}},
+        {"w19", {"milc", "libquantum", "omnetpp", "leslie3d"}},
+    };
+    return table;
+}
+
+const WorkloadSpec *
+findWorkload(const std::string &name)
+{
+    for (const auto &w : multiprogramWorkloads()) {
+        if (name == w.name)
+            return &w;
+    }
+    return nullptr;
+}
+
+} // namespace sim
+
+} // namespace profess

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * The paper's multiprogrammed workloads (Table 10): nineteen
+ * four-program mixes of the Table 9 benchmarks.
+ */
+
+#ifndef PROFESS_SIM_WORKLOADS_HH
+#define PROFESS_SIM_WORKLOADS_HH
+
+#include <array>
+#include <string>
+#include <vector>
+
+namespace profess
+{
+
+namespace sim
+{
+
+/** One four-program workload. */
+struct WorkloadSpec
+{
+    const char *name;
+    std::array<const char *, 4> programs;
+};
+
+/** @return workloads w01..w19 (Table 10). */
+const std::vector<WorkloadSpec> &multiprogramWorkloads();
+
+/** @return workload by name, or nullptr. */
+const WorkloadSpec *findWorkload(const std::string &name);
+
+} // namespace sim
+
+} // namespace profess
+
+#endif // PROFESS_SIM_WORKLOADS_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The interface between workloads and the core model.
+ *
+ * A trace source produces the program's main-memory access stream
+ * (post-L3 misses at 64-B granularity), each access annotated with
+ * the number of non-memory-miss instructions that precede it.  The
+ * paper drives its simulator with SPEC CPU2006 SimPoints; here the
+ * stream comes from synthetic generators parameterized per benchmark
+ * (Table 9) or from recorded trace files (see DESIGN.md, Sec. 2).
+ */
+
+#ifndef PROFESS_TRACE_ACCESS_HH
+#define PROFESS_TRACE_ACCESS_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace profess
+{
+
+namespace trace
+{
+
+/** Cache line size assumed throughout (Table 8). */
+constexpr std::uint64_t lineBytes = 64;
+
+/** One main-memory access of a program. */
+struct MemAccess
+{
+    Addr vaddr = 0;            ///< virtual byte address (line-aligned)
+    bool isWrite = false;
+    std::uint32_t instGap = 0; ///< instructions since previous access
+};
+
+/** Producer of a program's memory access stream. */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /**
+     * Produce the next access.
+     *
+     * @param out Filled in on success.
+     * @return false at end of trace (synthetic sources never end).
+     */
+    virtual bool next(MemAccess &out) = 0;
+
+    /** @return the footprint (maximum vaddr + line) in bytes. */
+    virtual std::uint64_t footprintBytes() const = 0;
+
+    /** Restart the stream (used when a program is repeated). */
+    virtual void reset() = 0;
+};
+
+} // namespace trace
+
+} // namespace profess
+
+#endif // PROFESS_TRACE_ACCESS_HH

@@ -1,0 +1,223 @@
+#include "trace/patterns.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace profess
+{
+
+namespace trace
+{
+
+namespace
+{
+
+std::uint64_t
+alignDown(std::uint64_t x, std::uint64_t a)
+{
+    return x - x % a;
+}
+
+} // anonymous namespace
+
+SequentialPattern::SequentialPattern(std::uint64_t footprint,
+                                     Addr start)
+    : footprint_(alignDown(footprint, lineBytes)), pos_(start)
+{
+    panic_if(footprint_ == 0, "footprint smaller than one line");
+    pos_ %= footprint_;
+}
+
+Addr
+SequentialPattern::next(Rng &rng)
+{
+    (void)rng;
+    Addr a = pos_;
+    pos_ += lineBytes;
+    if (pos_ >= footprint_)
+        pos_ = 0;
+    return a;
+}
+
+MultiStreamPattern::MultiStreamPattern(std::uint64_t footprint,
+                                       unsigned num_streams)
+    : footprint_(alignDown(footprint, lineBytes))
+{
+    panic_if(footprint_ == 0, "footprint smaller than one line");
+    panic_if(num_streams == 0, "need at least one stream");
+    pos_.assign(num_streams, tickNever);
+}
+
+Addr
+MultiStreamPattern::next(Rng &rng)
+{
+    std::size_t i = pos_.size() == 1
+        ? 0
+        : rng.below(static_cast<std::uint32_t>(pos_.size()));
+    if (pos_[i] == tickNever) {
+        // Lazy random start: real programs' arrays sit at unrelated
+        // offsets, so streams must not align on bank boundaries.
+        pos_[i] = rng.below64(footprint_ / lineBytes) * lineBytes;
+    }
+    Addr a = pos_[i];
+    pos_[i] += lineBytes;
+    if (pos_[i] >= footprint_)
+        pos_[i] = 0;
+    return a;
+}
+
+StridedPattern::StridedPattern(std::uint64_t footprint,
+                               std::uint64_t stride)
+    : footprint_(alignDown(footprint, lineBytes)), stride_(stride),
+      pos_(0), phase_(0)
+{
+    panic_if(footprint_ == 0, "footprint smaller than one line");
+    panic_if(stride_ == 0 || stride_ % lineBytes != 0,
+             "stride must be a positive multiple of the line size");
+}
+
+Addr
+StridedPattern::next(Rng &rng)
+{
+    (void)rng;
+    Addr a = pos_;
+    pos_ += stride_;
+    if (pos_ >= footprint_) {
+        phase_ += lineBytes;
+        if (phase_ >= stride_ || phase_ >= footprint_)
+            phase_ = 0;
+        pos_ = phase_;
+    }
+    return a;
+}
+
+HotspotPattern::HotspotPattern(std::uint64_t footprint, double zipf_s,
+                               std::uint64_t page_bytes)
+    : footprint_(alignDown(footprint, lineBytes)),
+      pageBytes_(page_bytes)
+{
+    panic_if(footprint_ == 0, "footprint smaller than one line");
+    numPages_ = std::max<std::size_t>(
+        1, static_cast<std::size_t>(footprint_ / pageBytes_));
+    // Zipf CDF over ranks.
+    cdf_.resize(numPages_);
+    double acc = 0.0;
+    for (std::size_t r = 0; r < numPages_; ++r) {
+        acc += 1.0 / std::pow(static_cast<double>(r + 1), zipf_s);
+        cdf_[r] = acc;
+    }
+    for (auto &c : cdf_)
+        c /= acc;
+    // Identity permutation until the first rebuild.
+    perm_.resize(numPages_);
+    for (std::size_t i = 0; i < numPages_; ++i)
+        perm_[i] = static_cast<std::uint32_t>(i);
+    Rng seeder(0x9e3779b97f4a7c15ull, 0x5bd1e995u);
+    rebuild(seeder);
+}
+
+void
+HotspotPattern::rebuild(Rng &rng)
+{
+    // Fisher-Yates shuffle of the rank -> page mapping.
+    for (std::size_t i = numPages_; i > 1; --i) {
+        std::size_t j = rng.below(static_cast<std::uint32_t>(i));
+        std::swap(perm_[i - 1], perm_[j]);
+    }
+}
+
+Addr
+HotspotPattern::next(Rng &rng)
+{
+    double u = rng.uniform();
+    auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    std::size_t rank = static_cast<std::size_t>(it - cdf_.begin());
+    if (rank >= numPages_)
+        rank = numPages_ - 1;
+    std::uint64_t page = perm_[rank];
+    std::uint64_t lines_per_page =
+        std::max<std::uint64_t>(1, pageBytes_ / lineBytes);
+    Addr a = page * pageBytes_ +
+             rng.below64(lines_per_page) * lineBytes;
+    if (a >= footprint_)
+        a = footprint_ - lineBytes;
+    return a;
+}
+
+UniformPattern::UniformPattern(std::uint64_t footprint)
+    : footprint_(alignDown(footprint, lineBytes))
+{
+    panic_if(footprint_ == 0, "footprint smaller than one line");
+}
+
+Addr
+UniformPattern::next(Rng &rng)
+{
+    return rng.below64(footprint_ / lineBytes) * lineBytes;
+}
+
+ClusteredPattern::ClusteredPattern(std::uint64_t footprint,
+                                   std::uint64_t window_bytes,
+                                   double mean_dwell)
+    : footprint_(alignDown(footprint, lineBytes)),
+      windowBytes_(window_bytes)
+{
+    panic_if(footprint_ == 0, "footprint smaller than one line");
+    panic_if(window_bytes < lineBytes,
+             "window smaller than one line");
+    panic_if(mean_dwell < 1.0, "mean dwell must be >= 1");
+    if (windowBytes_ > footprint_)
+        windowBytes_ = footprint_;
+    jumpProb_ = 1.0 / mean_dwell;
+}
+
+Addr
+ClusteredPattern::next(Rng &rng)
+{
+    if (!primed_ || rng.uniform() < jumpProb_) {
+        std::uint64_t windows =
+            std::max<std::uint64_t>(1, footprint_ / windowBytes_);
+        windowBase_ = rng.below64(windows) * windowBytes_;
+        primed_ = true;
+    }
+    std::uint64_t lines = windowBytes_ / lineBytes;
+    Addr a = windowBase_ + rng.below64(lines) * lineBytes;
+    if (a >= footprint_)
+        a = footprint_ - lineBytes;
+    return a;
+}
+
+void
+MixedPattern::add(double weight, std::unique_ptr<AddressPattern> p)
+{
+    panic_if(weight <= 0.0, "mixture weight must be positive");
+    totalWeight_ += weight;
+    cumWeight_.push_back(totalWeight_);
+    parts_.push_back(std::move(p));
+}
+
+Addr
+MixedPattern::next(Rng &rng)
+{
+    panic_if(parts_.empty(), "empty mixture");
+    double u = rng.uniform() * totalWeight_;
+    auto it =
+        std::lower_bound(cumWeight_.begin(), cumWeight_.end(), u);
+    std::size_t i = static_cast<std::size_t>(it - cumWeight_.begin());
+    if (i >= parts_.size())
+        i = parts_.size() - 1;
+    return parts_[i]->next(rng);
+}
+
+void
+MixedPattern::rebuild(Rng &rng)
+{
+    for (auto &p : parts_)
+        p->rebuild(rng);
+}
+
+} // namespace trace
+
+} // namespace profess

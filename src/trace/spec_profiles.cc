@@ -1,0 +1,96 @@
+#include "trace/spec_profiles.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace profess
+{
+
+namespace trace
+{
+
+const std::vector<BenchmarkProfile> &
+specProfiles()
+{
+    // name         mpki fpMB   wf   seq  ns  str  hot  chase zipf stride cwin cdwell burst phase
+    static const std::vector<BenchmarkProfile> table = {
+        {"bwaves",     11, 265, 0.30, 0.75,  8, 0.15, 0.10, 0.00, 0.90, 256, 4096, 4.0, 0.45, 0},
+        {"GemsFDTD",   16, 499, 0.35, 0.55, 12, 0.25, 0.20, 0.00, 0.90, 512, 4096, 4.0, 0.40, 400000},
+        {"lbm",        32, 402, 0.45, 0.90, 19, 0.05, 0.05, 0.00, 0.80, 128, 4096, 4.0, 0.50, 0},
+        {"leslie3d",   15,  76, 0.35, 0.65,  8, 0.25, 0.10, 0.00, 0.90, 256, 4096, 4.0, 0.40, 0},
+        {"libquantum", 30,  32, 0.25, 1.00,  4, 0.00, 0.00, 0.00, 0.00,  64, 4096, 4.0, 0.55, 0},
+        {"mcf",        60, 525, 0.20, 0.00,  1, 0.00, 0.30, 0.70, 1.00,  64, 8192, 12.0, 0.20, 500000},
+        {"milc",       18, 547, 0.30, 0.45,  6, 0.10, 0.15, 0.30, 0.80, 256, 16384, 2.5, 0.30, 0},
+        {"omnetpp",    19, 138, 0.35, 0.00,  1, 0.05, 0.45, 0.50, 1.10,  64, 4096, 4.0, 0.15, 300000},
+        {"soplex",     29, 241, 0.25, 0.40,  6, 0.10, 0.30, 0.20, 1.00, 256, 8192, 4.0, 0.30, 400000},
+        {"zeusmp",      5, 112, 0.30, 0.60,  8, 0.20, 0.20, 0.00, 0.90, 512, 4096, 4.0, 0.40, 0},
+    };
+    return table;
+}
+
+const BenchmarkProfile *
+findProfile(const std::string &name)
+{
+    for (const auto &p : specProfiles()) {
+        if (name == p.name)
+            return &p;
+    }
+    return nullptr;
+}
+
+std::unique_ptr<TraceSource>
+makeProfileSource(const BenchmarkProfile &p, double footprint_scale,
+                  std::uint64_t seed)
+{
+    auto footprint = static_cast<std::uint64_t>(
+        p.footprintMB * footprint_scale * static_cast<double>(MiB));
+    // Round to whole 4-KiB pages, at least one.
+    footprint = std::max<std::uint64_t>(4 * KiB,
+                                        footprint / (4 * KiB) *
+                                            (4 * KiB));
+
+    auto mix = std::make_unique<MixedPattern>();
+    if (p.seqWeight > 0) {
+        mix->add(p.seqWeight, std::make_unique<MultiStreamPattern>(
+                                  footprint, p.numStreams));
+    }
+    if (p.strideWeight > 0) {
+        mix->add(p.strideWeight, std::make_unique<StridedPattern>(
+                                     footprint, p.strideBytes));
+    }
+    if (p.hotWeight > 0) {
+        mix->add(p.hotWeight, std::make_unique<HotspotPattern>(
+                                  footprint, p.zipfS));
+    }
+    if (p.chaseWeight > 0) {
+        mix->add(p.chaseWeight,
+                 std::make_unique<ClusteredPattern>(
+                     footprint, p.chaseWindowBytes,
+                     p.chaseMeanDwell));
+    }
+
+    SyntheticParams sp;
+    sp.name = p.name;
+    sp.footprintBytes = footprint;
+    sp.mpki = p.mpki;
+    sp.writeFraction = p.writeFraction;
+    sp.burstFraction = p.burstFraction;
+    sp.phaseAccesses = p.phaseAccesses;
+    sp.seed = seed;
+    return std::make_unique<SyntheticTraceSource>(sp, std::move(mix));
+}
+
+std::unique_ptr<TraceSource>
+makeSpecSource(const std::string &name, double footprint_scale,
+               std::uint64_t seed)
+{
+    const BenchmarkProfile *p = findProfile(name);
+    fatal_if(p == nullptr, "unknown benchmark profile '%s'",
+             name.c_str());
+    return makeProfileSource(*p, footprint_scale, seed);
+}
+
+} // namespace trace
+
+} // namespace profess

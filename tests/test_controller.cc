@@ -1,0 +1,280 @@
+/**
+ * @file
+ * Integration tests for the hybrid memory controller: translation
+ * via the STC, ST fill/writeback traffic, swap execution and
+ * waiters, periodic hooks, statistics folding, per-program stats.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "hybrid/hybrid_controller.hh"
+#include "policy/cameo.hh"
+#include "policy/static_policies.hh"
+
+using namespace profess;
+using namespace profess::hybrid;
+
+namespace
+{
+
+struct ControllerFixture : public ::testing::Test
+{
+    EventQueue eq;
+    HybridLayout layout =
+        HybridLayout::build(1 * MiB, 8 * MiB, 2, 32, 9);
+    std::unique_ptr<mem::MemorySystem> memory;
+    std::unique_ptr<os::PageAllocator> alloc;
+    std::unique_ptr<policy::MigrationPolicy> policy;
+    std::unique_ptr<HybridController> ctrl;
+
+    void
+    build(std::unique_ptr<policy::MigrationPolicy> pol,
+          Cycles fold_interval = 0)
+    {
+        mem::MemorySystemConfig mc;
+        mc.numChannels = 2;
+        mc.m1BytesPerChannel = 1 * MiB;
+        mc.m2BytesPerChannel = 8 * MiB;
+        memory = std::make_unique<mem::MemorySystem>(eq, mc);
+        alloc = std::make_unique<os::PageAllocator>(
+            layout.numGroups, layout.slotsPerGroup,
+            layout.numRegions, 4, 7);
+        policy = std::move(pol);
+        HybridController::Params hp;
+        hp.stc = StCache::Params{512, 8, 8};
+        hp.numPrograms = 4;
+        hp.statsFoldInterval = fold_interval;
+        ctrl = std::make_unique<HybridController>(
+            eq, *memory, layout, hp, *policy, *alloc);
+    }
+
+    /** Translate (program, vpage, offset) to an original address. */
+    Addr
+    origAddr(ProgramId p, std::uint64_t vpage, std::uint64_t off)
+    {
+        return alloc->translate(p, vpage) * os::pageBytes + off;
+    }
+};
+
+} // anonymous namespace
+
+TEST_F(ControllerFixture, ReadCompletes)
+{
+    build(std::make_unique<policy::NeverPolicy>());
+    bool done = false;
+    ctrl->access(0, origAddr(0, 0, 0), false,
+                 [&]() { done = true; });
+    eq.run();
+    EXPECT_TRUE(done);
+    EXPECT_EQ(ctrl->servedTotal(), 1u);
+    EXPECT_EQ(ctrl->programStats(0).reads, 1u);
+    // First access misses the STC and fills from M1.
+    EXPECT_EQ(ctrl->stats().counter("st_fills"), 1u);
+    EXPECT_DOUBLE_EQ(ctrl->stcHitRate(), 0.0);
+}
+
+TEST_F(ControllerFixture, StcHitOnSecondAccess)
+{
+    build(std::make_unique<policy::NeverPolicy>());
+    Addr a = origAddr(0, 0, 0);
+    ctrl->access(0, a, false, {});
+    eq.run();
+    ctrl->access(0, a + 64, false, {});
+    eq.run();
+    EXPECT_DOUBLE_EQ(ctrl->stcHitRate(), 0.5);
+    EXPECT_EQ(ctrl->stats().counter("st_fills"), 1u);
+}
+
+TEST_F(ControllerFixture, ServesFromCorrectModule)
+{
+    build(std::make_unique<policy::NeverPolicy>());
+    // Find a vpage whose first block sits at slot 0 (M1) and one at
+    // a non-zero slot (M2).
+    ProgramId p = 0;
+    std::uint64_t m1_page = ~0ull, m2_page = ~0ull;
+    for (std::uint64_t v = 0; v < 64; ++v) {
+        std::uint64_t frame = alloc->translate(p, v);
+        unsigned slot = layout.slotOf(frame * 2);
+        if (slot == 0 && m1_page == ~0ull)
+            m1_page = v;
+        if (slot != 0 && m2_page == ~0ull)
+            m2_page = v;
+    }
+    ASSERT_NE(m2_page, ~0ull);
+    ctrl->access(p, origAddr(p, m2_page, 0), false, {});
+    eq.run();
+    EXPECT_EQ(ctrl->programStats(p).servedFromM1, 0u);
+    if (m1_page != ~0ull) {
+        ctrl->access(p, origAddr(p, m1_page, 0), false, {});
+        eq.run();
+        EXPECT_EQ(ctrl->programStats(p).servedFromM1, 1u);
+    }
+}
+
+TEST_F(ControllerFixture, CameoPromotesOnFirstTouch)
+{
+    build(std::make_unique<policy::CameoPolicy>(1));
+    // Touch an M2-resident block; CAMEO must swap it into M1.
+    ProgramId p = 0;
+    std::uint64_t v = 0;
+    std::uint64_t frame;
+    unsigned slot;
+    do {
+        frame = alloc->translate(p, v++);
+        slot = layout.slotOf(frame * 2);
+    } while (slot == 0);
+    std::uint64_t ob = frame * 2;
+    std::uint64_t g = layout.groupOf(ob);
+    ctrl->access(p, ob * 2048, false, {});
+    eq.run();
+    EXPECT_EQ(ctrl->swapCount(), 1u);
+    EXPECT_EQ(ctrl->table().locationOf(g, slot), 0u);
+    EXPECT_EQ(ctrl->table().slotInM1(g), slot);
+    // Second access now served from M1.
+    ctrl->access(p, ob * 2048 + 64, false, {});
+    eq.run();
+    EXPECT_EQ(ctrl->programStats(p).servedFromM1, 1u);
+}
+
+TEST_F(ControllerFixture, AccessDuringSwapWaits)
+{
+    build(std::make_unique<policy::CameoPolicy>(1));
+    ProgramId p = 0;
+    std::uint64_t v = 0;
+    std::uint64_t frame;
+    do {
+        frame = alloc->translate(p, v++);
+    } while (layout.slotOf(frame * 2) == 0);
+    Addr a = frame * 2 * 2048;
+    Tick first_done = 0, second_done = 0;
+    ctrl->access(p, a, false, [&]() { first_done = eq.now(); });
+    // Second access to the same block arrives immediately; it must
+    // wait for the swap and then be served from M1.
+    ctrl->access(p, a + 64, false,
+                 [&]() { second_done = eq.now(); });
+    eq.run();
+    EXPECT_GT(second_done, first_done);
+    EXPECT_EQ(ctrl->swapCount(), 1u);
+    EXPECT_EQ(ctrl->programStats(p).servedFromM1, 1u);
+}
+
+TEST_F(ControllerFixture, StWritebackOnDirtyEviction)
+{
+    build(std::make_unique<policy::CameoPolicy>(1));
+    // Generate enough distinct groups to overflow the 64-entry STC
+    // (512 B); swapped groups evict dirty.
+    ProgramId p = 0;
+    for (std::uint64_t v = 0; v < 200; ++v) {
+        std::uint64_t frame = alloc->translate(p, v);
+        ctrl->access(p, frame * os::pageBytes, false, {});
+    }
+    eq.run();
+    EXPECT_GT(ctrl->stats().counter("stc_evictions"), 0u);
+    EXPECT_GT(ctrl->stats().counter("st_writebacks"), 0u);
+}
+
+TEST_F(ControllerFixture, RequestSwapApi)
+{
+    build(std::make_unique<policy::NeverPolicy>());
+    ProgramId p = 0;
+    std::uint64_t v = 0;
+    std::uint64_t frame;
+    do {
+        frame = alloc->translate(p, v++);
+    } while (layout.slotOf(frame * 2) == 0);
+    std::uint64_t ob = frame * 2;
+    std::uint64_t g = layout.groupOf(ob);
+    unsigned slot = layout.slotOf(ob);
+
+    // Not cached yet: refused.
+    EXPECT_FALSE(ctrl->requestSwap(g, slot));
+    ctrl->access(p, ob * 2048, false, {});
+    eq.run();
+    EXPECT_TRUE(ctrl->requestSwap(g, slot));
+    eq.run();
+    EXPECT_EQ(ctrl->table().slotInM1(g), slot);
+    // Already in M1: refused.
+    EXPECT_FALSE(ctrl->requestSwap(g, slot));
+}
+
+TEST_F(ControllerFixture, PerProgramAccounting)
+{
+    build(std::make_unique<policy::NeverPolicy>());
+    ctrl->access(0, origAddr(0, 0, 0), false, {});
+    ctrl->access(1, origAddr(1, 0, 0), true, {});
+    ctrl->access(1, origAddr(1, 1, 0), false, {});
+    eq.run();
+    EXPECT_EQ(ctrl->programStats(0).served, 1u);
+    EXPECT_EQ(ctrl->programStats(1).served, 2u);
+    EXPECT_EQ(ctrl->programStats(1).writes, 1u);
+    EXPECT_EQ(ctrl->servedTotal(), 3u);
+}
+
+TEST_F(ControllerFixture, ResetStatsKeepsState)
+{
+    build(std::make_unique<policy::CameoPolicy>(1));
+    ProgramId p = 0;
+    std::uint64_t v = 0;
+    std::uint64_t frame;
+    do {
+        frame = alloc->translate(p, v++);
+    } while (layout.slotOf(frame * 2) == 0);
+    std::uint64_t ob = frame * 2;
+    std::uint64_t g = layout.groupOf(ob);
+    unsigned slot = layout.slotOf(ob);
+    ctrl->access(p, ob * 2048, false, {});
+    eq.run();
+    ASSERT_EQ(ctrl->table().slotInM1(g), slot);
+    ctrl->resetStats();
+    EXPECT_EQ(ctrl->swapCount(), 0u);
+    EXPECT_EQ(ctrl->servedTotal(), 0u);
+    // Translations survive the reset.
+    EXPECT_EQ(ctrl->table().slotInM1(g), slot);
+}
+
+TEST_F(ControllerFixture, StatsFoldFeedsPolicy)
+{
+    // Policy that counts eviction-style updates.
+    struct CountingPolicy : public policy::NeverPolicy
+    {
+        unsigned evictions = 0;
+        void
+        onStcEvict(std::uint64_t, const StcMeta &,
+                   StEntry &) override
+        {
+            ++evictions;
+        }
+    };
+    auto counting = std::make_unique<CountingPolicy>();
+    CountingPolicy *cp = counting.get();
+    build(std::move(counting), 500);
+    ctrl->startPeriodic();
+    ctrl->access(0, origAddr(0, 0, 0), false, {});
+    eq.runUntil(5000);
+    ctrl->stopPeriodic();
+    eq.run();
+    // The single touched block went quiet and was folded.
+    EXPECT_GE(cp->evictions, 1u);
+    EXPECT_GE(ctrl->stats().counter("stats_folds"), 1u);
+}
+
+TEST_F(ControllerFixture, PeriodicPolicyHookRuns)
+{
+    struct PeriodicPolicy : public policy::NeverPolicy
+    {
+        unsigned ticks = 0;
+        Cycles periodicInterval() const override { return 100; }
+        void onPeriodic() override { ++ticks; }
+    };
+    auto pp = std::make_unique<PeriodicPolicy>();
+    PeriodicPolicy *raw = pp.get();
+    build(std::move(pp));
+    ctrl->startPeriodic();
+    eq.runUntil(1050);
+    ctrl->stopPeriodic();
+    eq.run();
+    EXPECT_GE(raw->ticks, 9u);
+    EXPECT_LE(raw->ticks, 11u);
+}

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Randomized end-to-end invariant tests ("property tests" at system
+ * scope): whatever the policy and the access stream, the simulator
+ * must conserve requests, keep the swap-group tables permutations,
+ * keep statistics consistent, and stay deterministic.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/report.hh"
+#include "sim/system.hh"
+#include "trace/spec_profiles.hh"
+
+using namespace profess;
+using namespace profess::sim;
+
+namespace
+{
+
+SystemConfig
+tinyConfig()
+{
+    SystemConfig c = SystemConfig::quadCore();
+    c.core.instrQuota = 60000;
+    c.core.warmupInstr = 20000;
+    return c;
+}
+
+std::vector<std::unique_ptr<trace::TraceSource>>
+fourSources(std::uint64_t seed)
+{
+    std::vector<std::unique_ptr<trace::TraceSource>> v;
+    const char *names[] = {"mcf", "lbm", "omnetpp", "zeusmp"};
+    for (unsigned i = 0; i < 4; ++i) {
+        v.push_back(trace::makeSpecSource(
+            names[i], trace::defaultScale, seed + i * 7));
+    }
+    return v;
+}
+
+} // anonymous namespace
+
+class PolicyInvariants : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(PolicyInvariants, EndToEnd)
+{
+    System sys(tinyConfig(), GetParam(), fourSources(3));
+    ASSERT_TRUE(sys.run());
+
+    // 1. Request conservation: every core-issued access is served.
+    std::uint64_t issued = 0;
+    for (unsigned i = 0; i < sys.numCores(); ++i)
+        issued += sys.core(i).memReads() + sys.core(i).memWrites();
+    std::uint64_t served = 0;
+    for (unsigned p = 0; p < sys.numPrograms(); ++p) {
+        const auto &ps =
+            sys.controller().programStats(static_cast<ProgramId>(p));
+        served += ps.served;
+        EXPECT_LE(ps.servedFromM1, ps.served);
+        EXPECT_EQ(ps.reads + ps.writes, ps.served);
+    }
+    // Stats were reset at the warm-up boundary, so served counts
+    // only the measurement window.
+    EXPECT_LE(served, issued);
+    EXPECT_GT(served, issued / 4);
+
+    // 2. Every swap group's ATB stays a permutation, and QAC values
+    //    stay within 2 bits.
+    const hybrid::SwapGroupTable &st = sys.controller().table();
+    const hybrid::HybridLayout &l = sys.controller().layout();
+    for (std::uint64_t g = 0; g < l.numGroups; g += 13) {
+        std::set<unsigned> locs;
+        for (unsigned s = 0; s < l.slotsPerGroup; ++s) {
+            unsigned loc = st.locationOf(g, s);
+            ASSERT_LT(loc, l.slotsPerGroup);
+            EXPECT_TRUE(locs.insert(loc).second)
+                << "group " << g << " duplicated location";
+            EXPECT_LT(st.entry(g).qac[s], 4);
+        }
+    }
+
+    // 3. Channel-level bookkeeping: row hits + misses equals the
+    //    device accesses; demand counters cover the served demand.
+    std::uint64_t row_ops =
+        sys.memory().totalCounter("row_hits") +
+        sys.memory().totalCounter("row_misses");
+    std::uint64_t device_accesses =
+        sys.memory().totalCounter("m1_accesses") +
+        sys.memory().totalCounter("m2_accesses");
+    EXPECT_EQ(row_ops, device_accesses);
+    std::uint64_t demand =
+        sys.memory().totalCounter("demand_reads") +
+        sys.memory().totalCounter("demand_writes");
+    EXPECT_GE(demand, served * 9 / 10); // completion lag tolerance
+
+    // 4. Time and energy are positive and finite.
+    EXPECT_GT(sys.measuredSeconds(), 0.0);
+    double joules =
+        sys.memory().totalJoules(sys.measuredSeconds());
+    EXPECT_GT(joules, 0.0);
+    EXPECT_LT(joules, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicyInvariants,
+                         ::testing::Values("never", "always",
+                                           "cameo", "silcfm", "pom",
+                                           "mempod", "mdm",
+                                           "profess", "rsm-pom",
+                                           "oscoarse"));
+
+class SeedSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SeedSweep, DeterministicAndSane)
+{
+    std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+    auto once = [&]() {
+        System sys(tinyConfig(), "profess", fourSources(seed));
+        sys.run();
+        std::vector<double> ipc;
+        for (unsigned i = 0; i < sys.numCores(); ++i)
+            ipc.push_back(sys.core(i).ipcAtQuota());
+        return ipc;
+    };
+    std::vector<double> a = once();
+    std::vector<double> b = once();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a[i], b[i]);
+        EXPECT_GT(a[i], 0.0);
+        EXPECT_LE(a[i], 4.0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Range(1, 6));
+
+TEST(CsvReport, WritesHeaderAndRows)
+{
+    std::string path = ::testing::TempDir() + "/pf_report.csv";
+    std::remove(path.c_str());
+    {
+        CsvReport csv(path, CsvReport::runHeader());
+        ASSERT_TRUE(csv.enabled());
+        RunResult r;
+        r.policy = "pom";
+        r.ipc.push_back(0.5);
+        r.servedTotal = 100;
+        csv.runRow("fig05", "soplex", r);
+    }
+    {
+        // Appending must not duplicate the header.
+        CsvReport csv(path, CsvReport::runHeader());
+        RunResult r;
+        r.policy = "mdm";
+        r.ipc.push_back(0.6);
+        csv.runRow("fig05", "soplex", r);
+    }
+    std::FILE *fp = std::fopen(path.c_str(), "r");
+    ASSERT_NE(fp, nullptr);
+    char line[512];
+    int lines = 0, headers = 0;
+    while (std::fgets(line, sizeof(line), fp)) {
+        ++lines;
+        if (std::string(line).find("experiment,") == 0)
+            ++headers;
+    }
+    std::fclose(fp);
+    EXPECT_EQ(lines, 3);
+    EXPECT_EQ(headers, 1);
+    std::remove(path.c_str());
+}
+
+TEST(CsvReport, DisabledWhenPathEmpty)
+{
+    CsvReport csv("", CsvReport::runHeader());
+    EXPECT_FALSE(csv.enabled());
+    csv.row("should not crash");
+}

@@ -1,0 +1,286 @@
+/**
+ * @file
+ * Tests for the Migration-Decision Mechanism (Sec. 3.2): QAC
+ * quantization (Table 5), the Table 6 counters and Eqs. 5-7,
+ * Laplace smoothing, phase machinery, and the Sec. 3.2.3 decision
+ * tree over crafted access descriptors.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "core/mdm.hh"
+
+using namespace profess;
+using namespace profess::core;
+
+namespace
+{
+
+Mdm::Params
+fastParams()
+{
+    Mdm::Params p;
+    p.numPrograms = 2;
+    p.minBenefit = 8;
+    p.phaseUpdates = 16;
+    p.recomputeEvery = 4;
+    p.initialExpCnt = 0.0;
+    return p;
+}
+
+/** Feed n evictions of (qI, count) for a program. */
+void
+feed(Mdm &mdm, ProgramId p, std::uint8_t q_i, unsigned count,
+     unsigned n)
+{
+    for (unsigned i = 0; i < n; ++i)
+        mdm.recordEviction(p, q_i, count);
+}
+
+/** Build an AccessInfo over a crafted meta. */
+struct DecideHarness
+{
+    hybrid::StcMeta meta{};
+    policy::AccessInfo info{};
+
+    DecideHarness()
+    {
+        std::memset(meta.ac, 0, sizeof(meta.ac));
+        std::memset(meta.qacAtInsert, 0, sizeof(meta.qacAtInsert));
+        info.group = 0;
+        info.slot = 2;     // the M2 block under consideration
+        info.m1Slot = 0;   // incumbent
+        info.accessor = 0;
+        info.m1Owner = 1;
+        info.meta = &meta;
+    }
+};
+
+} // anonymous namespace
+
+TEST(QacQuantize, MatchesTable5)
+{
+    EXPECT_EQ(quantizeQac(0), 0);
+    EXPECT_EQ(quantizeQac(1), 1);
+    EXPECT_EQ(quantizeQac(7), 1);
+    EXPECT_EQ(quantizeQac(8), 2);
+    EXPECT_EQ(quantizeQac(31), 2);
+    EXPECT_EQ(quantizeQac(32), 3);
+    EXPECT_EQ(quantizeQac(63), 3);
+    EXPECT_EQ(quantizeQac(1000), 3);
+}
+
+TEST(Mdm, RecordEvictionReturnsQe)
+{
+    Mdm mdm(fastParams());
+    EXPECT_EQ(mdm.recordEviction(0, 0, 5), 1);
+    EXPECT_EQ(mdm.recordEviction(0, 1, 20), 2);
+    EXPECT_EQ(mdm.recordEviction(0, 2, 50), 3);
+    EXPECT_EQ(mdm.updates(0), 3u);
+    EXPECT_EQ(mdm.updates(1), 0u);
+}
+
+TEST(Mdm, AvgCntMatchesEq6)
+{
+    Mdm mdm(fastParams());
+    // Counts 40 and 60, both qE = 3; observation phase is 16
+    // updates, then estimation recomputes every 4.
+    feed(mdm, 0, 3, 40, 10);
+    feed(mdm, 0, 3, 60, 10);
+    EXPECT_NEAR(mdm.avgCnt(0, 3), 50.0, 1e-9);
+}
+
+TEST(Mdm, TransitionProbLaplace)
+{
+    Mdm mdm(fastParams());
+    // 20 transitions 3 -> 3, none elsewhere.
+    feed(mdm, 0, 3, 40, 20);
+    // P(3|3) = (20+1)/(20+3); P(1|3) = 1/23.
+    EXPECT_NEAR(mdm.transitionProb(0, 3, 3), 21.0 / 23.0, 1e-9);
+    EXPECT_NEAR(mdm.transitionProb(0, 3, 1), 1.0 / 23.0, 1e-9);
+}
+
+TEST(Mdm, ProbabilitiesSumToOne)
+{
+    Mdm mdm(fastParams());
+    feed(mdm, 0, 1, 5, 8);
+    feed(mdm, 0, 1, 20, 8);
+    feed(mdm, 0, 1, 50, 8);
+    double sum = 0;
+    for (std::uint8_t q_e = 1; q_e < numQacValues; ++q_e)
+        sum += mdm.transitionProb(0, 1, q_e);
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Mdm, ExpCntMatchesEq5)
+{
+    Mdm mdm(fastParams());
+    feed(mdm, 0, 3, 40, 20); // all 3 -> 3, avg 40
+    double p33 = 21.0 / 23.0;
+    // avg_cnt(1) = avg_cnt(2) = 0.
+    EXPECT_NEAR(mdm.expCnt(0, 3), 40.0 * p33, 1e-6);
+    // Unseen qI gets the Laplace-uniform mixture.
+    EXPECT_NEAR(mdm.expCnt(0, 0), 40.0 / 3.0, 1e-6);
+}
+
+TEST(Mdm, PerProgramIsolation)
+{
+    Mdm mdm(fastParams());
+    feed(mdm, 0, 3, 60, 20);
+    feed(mdm, 1, 3, 2, 20);
+    EXPECT_GT(mdm.expCnt(0, 3), 40.0);
+    EXPECT_LT(mdm.expCnt(1, 3), 5.0);
+}
+
+TEST(Mdm, ObservationPhaseResetClearsCounters)
+{
+    Mdm::Params p = fastParams();
+    p.phaseUpdates = 8;
+    p.recomputeEvery = 2;
+    Mdm mdm(p);
+    // Phase 1 (observation): 8 updates of count 60.
+    feed(mdm, 0, 3, 60, 8);
+    // Phase 2 (estimation): 8 updates of count 60; recompute sees
+    // cumulative avg 60.
+    feed(mdm, 0, 3, 60, 8);
+    EXPECT_NEAR(mdm.avgCnt(0, 3), 60.0, 1e-9);
+    // Next observation resets; feed count 40 (still qE = 3) through
+    // observation and estimation: the new average must reflect only
+    // the post-reset window (all 40s).
+    feed(mdm, 0, 3, 40, 16);
+    EXPECT_NEAR(mdm.avgCnt(0, 3), 40.0, 1e-9);
+}
+
+TEST(MdmDecide, NoBenefitWhenExpLow)
+{
+    Mdm mdm(fastParams());
+    feed(mdm, 0, 1, 3, 24); // low expectations for qI=1
+    DecideHarness h;
+    h.meta.qacAtInsert[h.info.slot] = 1;
+    h.meta.bump(h.info.slot, 1);
+    EXPECT_EQ(mdm.decide(h.info, false), policy::Decision::NoSwap);
+    EXPECT_GT(mdm.pathCount(Mdm::DecidePath::NoBenefit), 0u);
+}
+
+TEST(MdmDecide, VacantM1Promotes)
+{
+    Mdm mdm(fastParams());
+    feed(mdm, 0, 3, 60, 24);
+    DecideHarness h;
+    h.meta.qacAtInsert[h.info.slot] = 3;
+    h.meta.bump(h.info.slot, 1);
+    h.info.m1Owner = invalidProgram;
+    EXPECT_EQ(mdm.decide(h.info, false), policy::Decision::Swap);
+    EXPECT_GT(mdm.pathCount(Mdm::DecidePath::Vacant), 0u);
+}
+
+TEST(MdmDecide, TreatVacantForcesCase1Semantics)
+{
+    Mdm mdm(fastParams());
+    feed(mdm, 0, 3, 60, 24);
+    feed(mdm, 1, 3, 60, 24);
+    DecideHarness h;
+    h.meta.qacAtInsert[h.info.slot] = 3;
+    h.meta.bump(h.info.slot, 1);
+    // Busy incumbent would normally win...
+    h.meta.qacAtInsert[h.info.m1Slot] = 3;
+    h.meta.bump(h.info.m1Slot, 2);
+    EXPECT_EQ(mdm.decide(h.info, false), policy::Decision::NoSwap);
+    // ...but ProFess Case 1 ignores it.
+    EXPECT_EQ(mdm.decide(h.info, true), policy::Decision::Swap);
+}
+
+TEST(MdmDecide, IdleColdM1Displaced)
+{
+    Mdm mdm(fastParams());
+    feed(mdm, 0, 3, 60, 24);
+    DecideHarness h;
+    h.meta.qacAtInsert[h.info.slot] = 3;
+    h.meta.bump(h.info.slot, 1);
+    // Incumbent idle with cold history (QAC 0).
+    h.meta.qacAtInsert[h.info.m1Slot] = 0;
+    EXPECT_EQ(mdm.decide(h.info, false), policy::Decision::Swap);
+    EXPECT_GT(mdm.pathCount(Mdm::DecidePath::IdleM1), 0u);
+}
+
+TEST(MdmDecide, IdleDepletedM1Displaced)
+{
+    Mdm mdm(fastParams());
+    feed(mdm, 0, 3, 60, 24);
+    feed(mdm, 1, 3, 60, 24);
+    DecideHarness h;
+    h.meta.qacAtInsert[h.info.slot] = 3;
+    h.meta.bump(h.info.slot, 1);
+    // Hot history but its burst completed (depleted bit).
+    h.meta.qacAtInsert[h.info.m1Slot] = 3;
+    h.meta.depletedMask |= 1u << h.info.m1Slot;
+    EXPECT_EQ(mdm.decide(h.info, false), policy::Decision::Swap);
+}
+
+TEST(MdmDecide, IdleHotM1Guarded)
+{
+    Mdm mdm(fastParams());
+    // Accessor expects modest counts; incumbent owner expects big
+    // ones.
+    feed(mdm, 0, 3, 25, 24);
+    feed(mdm, 1, 3, 60, 24);
+    DecideHarness h;
+    h.meta.qacAtInsert[h.info.slot] = 3;
+    h.meta.bump(h.info.slot, 1);
+    h.meta.qacAtInsert[h.info.m1Slot] = 3; // hot history, idle now
+    EXPECT_EQ(mdm.decide(h.info, false), policy::Decision::NoSwap);
+    EXPECT_GT(mdm.pathCount(Mdm::DecidePath::Rejected), 0u);
+}
+
+TEST(MdmDecide, DepletedIncumbentSwapped)
+{
+    Mdm mdm(fastParams());
+    feed(mdm, 0, 3, 60, 24);
+    feed(mdm, 1, 3, 60, 24);
+    DecideHarness h;
+    h.meta.qacAtInsert[h.info.slot] = 3;
+    h.meta.bump(h.info.slot, 1);
+    // Incumbent already received its expectation (c.i).
+    h.meta.qacAtInsert[h.info.m1Slot] = 3;
+    h.meta.bump(h.info.m1Slot, 63);
+    EXPECT_EQ(mdm.decide(h.info, false), policy::Decision::Swap);
+    EXPECT_GT(mdm.pathCount(Mdm::DecidePath::Depleted), 0u);
+}
+
+TEST(MdmDecide, NetBenefitComparesRemaining)
+{
+    Mdm mdm(fastParams());
+    feed(mdm, 0, 3, 60, 24); // accessor: expects 60
+    feed(mdm, 1, 3, 60, 24); // incumbent owner: expects 60 too
+    DecideHarness h;
+    h.meta.qacAtInsert[h.info.slot] = 3;
+    h.meta.bump(h.info.slot, 1); // rem_m2 ~ 54
+    h.meta.qacAtInsert[h.info.m1Slot] = 3;
+    h.meta.bump(h.info.m1Slot, 40); // rem_m1 ~ 15
+    EXPECT_EQ(mdm.decide(h.info, false), policy::Decision::Swap);
+    EXPECT_GT(mdm.pathCount(Mdm::DecidePath::NetBenefit), 0u);
+}
+
+TEST(MdmDecide, CloseCallRejected)
+{
+    Mdm mdm(fastParams());
+    feed(mdm, 0, 3, 60, 24);
+    feed(mdm, 1, 3, 60, 24);
+    DecideHarness h;
+    h.meta.qacAtInsert[h.info.slot] = 3;
+    h.meta.bump(h.info.slot, 20); // rem_m2 ~ 35
+    h.meta.qacAtInsert[h.info.m1Slot] = 3;
+    h.meta.bump(h.info.m1Slot, 25); // rem_m1 ~ 30: difference < 8
+    EXPECT_EQ(mdm.decide(h.info, false), policy::Decision::NoSwap);
+}
+
+TEST(Mdm, InitialExpZeroBlocksEarlySwaps)
+{
+    Mdm mdm(fastParams());
+    DecideHarness h;
+    h.meta.bump(h.info.slot, 1);
+    h.info.m1Owner = invalidProgram; // even a vacant M1
+    EXPECT_EQ(mdm.decide(h.info, false), policy::Decision::NoSwap);
+}

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Tests for the Relative-Slowdown Monitor (Sec. 3.1): counter
+ * classification, SF_A / SF_B arithmetic (Eqs. 2-3), exponential
+ * smoothing, swap accounting, and the Table 4 instrumentation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/rsm.hh"
+
+using namespace profess;
+using namespace profess::core;
+
+namespace
+{
+
+Rsm::Params
+smallParams(std::uint64_t msamp = 100, bool per_region = false)
+{
+    Rsm::Params p;
+    p.numPrograms = 2;
+    p.numRegions = 8;
+    p.sampleRequests = msamp;
+    p.alpha = 1.0; // no smoothing memory: SF equals raw (+1) value
+    p.perRegionStats = per_region;
+    return p;
+}
+
+} // anonymous namespace
+
+TEST(Rsm, DefaultsToOne)
+{
+    Rsm rsm(smallParams());
+    EXPECT_DOUBLE_EQ(rsm.sfA(0), 1.0);
+    EXPECT_DOUBLE_EQ(rsm.sfB(0), 1.0);
+    EXPECT_EQ(rsm.periods(0), 0u);
+}
+
+TEST(Rsm, SfAComputedFromCounters)
+{
+    Rsm rsm(smallParams(100));
+    // Program 0: private region = 0.  Give it 20 private requests
+    // (10 from M1) and 80 shared requests (20 from M1).
+    for (int i = 0; i < 20; ++i)
+        rsm.onServed(0, 0, i < 10);
+    for (int i = 0; i < 80; ++i)
+        rsm.onServed(0, 5, i < 20);
+    ASSERT_EQ(rsm.periods(0), 1u);
+    // With alpha=1 and the +1 anti-zero offset:
+    // SF_A = ((10+1)/(20+1)) / ((20+1)/(80+1)).
+    double expect = (11.0 / 21.0) / (21.0 / 81.0);
+    EXPECT_NEAR(rsm.sfA(0), expect, 1e-9);
+}
+
+TEST(Rsm, HigherCompetitionRaisesSfA)
+{
+    // Same private behaviour, worse shared M1 fraction -> larger
+    // SF_A.
+    Rsm a(smallParams(100)), b(smallParams(100));
+    for (int i = 0; i < 20; ++i) {
+        a.onServed(0, 0, i < 10);
+        b.onServed(0, 0, i < 10);
+    }
+    for (int i = 0; i < 80; ++i) {
+        a.onServed(0, 5, i < 40); // 50% from M1
+        b.onServed(0, 5, i < 8);  // 10% from M1
+    }
+    EXPECT_GT(b.sfA(0), a.sfA(0));
+}
+
+TEST(Rsm, SfBFromSwaps)
+{
+    Rsm rsm(smallParams(100));
+    // 3 self swaps, 9 total involving program 0.
+    for (int i = 0; i < 3; ++i)
+        rsm.onSwap(0, 0, false);
+    for (int i = 0; i < 6; ++i)
+        rsm.onSwap(0, 1, false);
+    for (int i = 0; i < 100; ++i)
+        rsm.onServed(0, 5, true);
+    // SF_B = (total+1)/(self+1) = 10/4.
+    EXPECT_NEAR(rsm.sfB(0), 10.0 / 4.0, 1e-9);
+}
+
+TEST(Rsm, SwapCountsBothOwnersOnce)
+{
+    Rsm rsm(smallParams(10));
+    rsm.onSwap(0, 1, false);
+    for (int i = 0; i < 10; ++i) {
+        rsm.onServed(0, 5, true);
+        rsm.onServed(1, 5, true);
+    }
+    // Both programs saw one non-self swap: SF_B = 2/1 each.
+    EXPECT_NEAR(rsm.sfB(0), 2.0, 1e-9);
+    EXPECT_NEAR(rsm.sfB(1), 2.0, 1e-9);
+}
+
+TEST(Rsm, SelfSwapNotDoubleCounted)
+{
+    Rsm rsm(smallParams(10));
+    rsm.onSwap(1, 1, false);
+    for (int i = 0; i < 10; ++i)
+        rsm.onServed(1, 5, true);
+    // total = self = 1 -> SF_B = 2/2 = 1.
+    EXPECT_NEAR(rsm.sfB(1), 1.0, 1e-9);
+}
+
+TEST(Rsm, PrivateRegionSwapsIgnored)
+{
+    Rsm rsm(smallParams(10));
+    rsm.onSwap(0, 1, true); // in a private region: not counted
+    for (int i = 0; i < 10; ++i)
+        rsm.onServed(0, 5, true);
+    EXPECT_NEAR(rsm.sfB(0), 1.0, 1e-9);
+}
+
+TEST(Rsm, VacantSideCounted)
+{
+    Rsm rsm(smallParams(10));
+    rsm.onSwap(0, invalidProgram, false); // promotion into vacancy
+    for (int i = 0; i < 10; ++i)
+        rsm.onServed(0, 5, true);
+    // One total swap, zero self: SF_B = 2/1.
+    EXPECT_NEAR(rsm.sfB(0), 2.0, 1e-9);
+}
+
+TEST(Rsm, SmoothingDampensChange)
+{
+    Rsm::Params p = smallParams(100);
+    p.alpha = 0.125;
+    Rsm rsm(p);
+    // Period 1: balanced -> SF_A ~ 1.
+    for (int i = 0; i < 20; ++i)
+        rsm.onServed(0, 0, i < 10);
+    for (int i = 0; i < 80; ++i)
+        rsm.onServed(0, 5, i < 40);
+    double sf1 = rsm.sfA(0);
+    // Period 2: heavy competition; the smoothed SF_A must move only
+    // a fraction of the way to the raw value.
+    for (int i = 0; i < 20; ++i)
+        rsm.onServed(0, 0, i < 10);
+    for (int i = 0; i < 80; ++i)
+        rsm.onServed(0, 5, false);
+    double sf2 = rsm.sfA(0);
+    EXPECT_GT(sf2, sf1);
+    // Raw SF_A of period 2 alone would be ~ (11/21)/(1/81) = 42.4.
+    EXPECT_LT(sf2, 10.0);
+}
+
+TEST(Rsm, PeriodBoundariesPerProgram)
+{
+    Rsm rsm(smallParams(50));
+    for (int i = 0; i < 49; ++i)
+        rsm.onServed(0, 5, true);
+    EXPECT_EQ(rsm.periods(0), 0u);
+    rsm.onServed(0, 5, true);
+    EXPECT_EQ(rsm.periods(0), 1u);
+    EXPECT_EQ(rsm.periods(1), 0u);
+}
+
+TEST(Rsm, PerRegionHistogramStats)
+{
+    Rsm rsm(smallParams(64, true));
+    // Uniform across the 6 shared regions (2..7) plus private 0.
+    for (int i = 0; i < 64; ++i)
+        rsm.onServed(0, 2 + (i % 6), true);
+    ASSERT_EQ(rsm.history(0).size(), 1u);
+    const Rsm::PeriodSample &s = rsm.history(0)[0];
+    EXPECT_GT(s.reqStdPct, 0.0); // unused regions inflate stddev
+    EXPECT_GT(s.rawSfA, 0.0);
+    EXPECT_GT(s.avgSfA, 0.0);
+}
+
+TEST(Rsm, RejectsBadConfig)
+{
+    Rsm::Params p;
+    p.numPrograms = 8;
+    p.numRegions = 8;
+    EXPECT_EXIT(Rsm r(p), ::testing::ExitedWithCode(1),
+                "more regions");
+}

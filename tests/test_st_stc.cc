@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Tests for the Swap-group Table and the STC (Fig. 4): address
+ * translation bits, per-block counters, LRU, pinning, metadata.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "hybrid/st.hh"
+#include "hybrid/stc.hh"
+
+using namespace profess;
+using namespace profess::hybrid;
+
+namespace
+{
+
+HybridLayout
+smallLayout()
+{
+    return HybridLayout::build(1 * MiB, 8 * MiB, 2, 32, 9);
+}
+
+} // anonymous namespace
+
+TEST(SwapGroupTable, IdentityInit)
+{
+    HybridLayout l = smallLayout();
+    SwapGroupTable st(l);
+    for (std::uint64_t g = 0; g < 10; ++g) {
+        for (unsigned s = 0; s < l.slotsPerGroup; ++s) {
+            EXPECT_EQ(st.locationOf(g, s), s);
+            EXPECT_EQ(st.entry(g).qac[s], 0);
+        }
+        EXPECT_EQ(st.slotInM1(g), 0u);
+    }
+}
+
+TEST(SwapGroupTable, SwapSlotsExchangesLocations)
+{
+    SwapGroupTable st(smallLayout());
+    st.swapSlots(3, 0, 5);
+    EXPECT_EQ(st.locationOf(3, 0), 5u);
+    EXPECT_EQ(st.locationOf(3, 5), 0u);
+    EXPECT_EQ(st.slotInM1(3), 5u);
+    // Involution: swapping back restores identity.
+    st.swapSlots(3, 0, 5);
+    EXPECT_EQ(st.locationOf(3, 0), 0u);
+    EXPECT_EQ(st.slotInM1(3), 0u);
+}
+
+TEST(SwapGroupTable, ChainedSwapsStayPermutation)
+{
+    HybridLayout l = smallLayout();
+    SwapGroupTable st(l);
+    st.swapSlots(7, 0, 3);
+    st.swapSlots(7, 3, 8); // slot 3 (now in M1) with slot 8
+    st.swapSlots(7, 8, 1);
+    // All locations distinct (a permutation).
+    bool seen[maxSlots] = {};
+    for (unsigned s = 0; s < l.slotsPerGroup; ++s) {
+        unsigned loc = st.locationOf(7, s);
+        ASSERT_LT(loc, l.slotsPerGroup);
+        EXPECT_FALSE(seen[loc]);
+        seen[loc] = true;
+    }
+    EXPECT_EQ(st.slotInM1(7), 1u);
+}
+
+TEST(StcMeta, BumpSaturatesAt63)
+{
+    StcMeta m{};
+    m.bump(2, 60);
+    EXPECT_EQ(m.ac[2], 60);
+    m.bump(2, 8);
+    EXPECT_EQ(m.ac[2], 63);
+    m.bump(2, 1);
+    EXPECT_EQ(m.ac[2], 63);
+    EXPECT_TRUE(m.touchedMask & (1u << 2));
+}
+
+TEST(StcMeta, BumpClearsDepleted)
+{
+    StcMeta m{};
+    m.depletedMask = 1u << 4;
+    EXPECT_TRUE(m.depleted(4));
+    m.bump(4, 1);
+    EXPECT_FALSE(m.depleted(4));
+}
+
+TEST(StcMeta, AnyOtherAccessed)
+{
+    StcMeta m{};
+    std::memset(m.ac, 0, sizeof(m.ac));
+    EXPECT_FALSE(m.anyOtherAccessed(9, 0));
+    m.ac[3] = 1;
+    EXPECT_TRUE(m.anyOtherAccessed(9, 0));
+    EXPECT_FALSE(m.anyOtherAccessed(9, 3));
+}
+
+namespace
+{
+
+StCache::Params
+tinyStc()
+{
+    // 2 sets x 4 ways.
+    StCache::Params p;
+    p.capacityBytes = 64;
+    p.ways = 4;
+    p.entryBytes = 8;
+    return p;
+}
+
+std::uint8_t zeroQac[maxSlots] = {};
+
+} // anonymous namespace
+
+TEST(StCache, Geometry)
+{
+    StCache stc(tinyStc());
+    EXPECT_EQ(stc.numSets(), 2u);
+    EXPECT_EQ(stc.ways(), 4u);
+}
+
+TEST(StCache, MissThenHit)
+{
+    StCache stc(tinyStc());
+    EXPECT_EQ(stc.find(10), nullptr);
+    EXPECT_EQ(stc.misses(), 1u);
+    StcEviction ev;
+    EXPECT_TRUE(stc.insert(10, zeroQac, ev));
+    EXPECT_FALSE(ev.valid);
+    EXPECT_NE(stc.find(10), nullptr);
+    EXPECT_EQ(stc.hits(), 1u);
+    EXPECT_NEAR(stc.hitRate(), 0.5, 1e-12);
+}
+
+TEST(StCache, LruEviction)
+{
+    StCache stc(tinyStc());
+    StcEviction ev;
+    // Fill set 0 (even groups with numSets=2).
+    for (std::uint64_t g : {0u, 2u, 4u, 6u})
+        ASSERT_TRUE(stc.insert(g, zeroQac, ev));
+    // Touch 0 so 2 becomes LRU.
+    ASSERT_NE(stc.find(0), nullptr);
+    ASSERT_TRUE(stc.insert(8, zeroQac, ev));
+    EXPECT_TRUE(ev.valid);
+    EXPECT_EQ(ev.group, 2u);
+    EXPECT_FALSE(stc.contains(2));
+    EXPECT_TRUE(stc.contains(0));
+}
+
+TEST(StCache, EvictionDirtyWhenCountersNonZero)
+{
+    StCache stc(tinyStc());
+    StcEviction ev;
+    ASSERT_TRUE(stc.insert(0, zeroQac, ev));
+    stc.peek(0)->bump(1, 3);
+    for (std::uint64_t g : {2u, 4u, 6u, 8u})
+        ASSERT_TRUE(stc.insert(g, zeroQac, ev));
+    EXPECT_TRUE(ev.valid);
+    EXPECT_EQ(ev.group, 0u);
+    EXPECT_TRUE(ev.dirty); // counters imply a QAC read-modify-write
+    EXPECT_EQ(ev.meta.ac[1], 3);
+}
+
+TEST(StCache, CleanEvictionNotDirty)
+{
+    StCache stc(tinyStc());
+    StcEviction ev;
+    for (std::uint64_t g : {0u, 2u, 4u, 6u, 8u})
+        ASSERT_TRUE(stc.insert(g, zeroQac, ev));
+    EXPECT_TRUE(ev.valid);
+    EXPECT_FALSE(ev.dirty);
+}
+
+TEST(StCache, PinnedWaysSkipped)
+{
+    StCache stc(tinyStc());
+    StcEviction ev;
+    for (std::uint64_t g : {0u, 2u, 4u, 6u})
+        ASSERT_TRUE(stc.insert(g, zeroQac, ev));
+    stc.peek(0)->swapping = true; // LRU but pinned
+    ASSERT_TRUE(stc.insert(8, zeroQac, ev));
+    EXPECT_TRUE(ev.valid);
+    EXPECT_EQ(ev.group, 2u); // next LRU after the pinned way
+    EXPECT_TRUE(stc.contains(0));
+}
+
+TEST(StCache, AllPinnedInsertFails)
+{
+    StCache stc(tinyStc());
+    StcEviction ev;
+    for (std::uint64_t g : {0u, 2u, 4u, 6u}) {
+        ASSERT_TRUE(stc.insert(g, zeroQac, ev));
+        stc.peek(g)->swapping = true;
+    }
+    EXPECT_FALSE(stc.insert(8, zeroQac, ev));
+    EXPECT_FALSE(stc.contains(8));
+}
+
+TEST(StCache, InsertSnapshotsQac)
+{
+    StCache stc(tinyStc());
+    std::uint8_t qac[maxSlots] = {};
+    qac[4] = 3;
+    qac[7] = 1;
+    StcEviction ev;
+    ASSERT_TRUE(stc.insert(0, qac, ev));
+    StcMeta *m = stc.peek(0);
+    ASSERT_NE(m, nullptr);
+    EXPECT_EQ(m->qacAtInsert[4], 3);
+    EXPECT_EQ(m->qacAtInsert[7], 1);
+    EXPECT_EQ(m->ac[4], 0); // counters reset at insertion
+}
+
+TEST(StCache, PeekDoesNotCountStats)
+{
+    StCache stc(tinyStc());
+    StcEviction ev;
+    ASSERT_TRUE(stc.insert(0, zeroQac, ev));
+    std::uint64_t h = stc.hits(), m = stc.misses();
+    EXPECT_NE(stc.peek(0), nullptr);
+    EXPECT_EQ(stc.peek(99), nullptr);
+    EXPECT_EQ(stc.hits(), h);
+    EXPECT_EQ(stc.misses(), m);
+}
+
+TEST(StCache, ForEachVisitsAllValid)
+{
+    StCache stc(tinyStc());
+    StcEviction ev;
+    for (std::uint64_t g : {0u, 1u, 2u, 3u})
+        ASSERT_TRUE(stc.insert(g, zeroQac, ev));
+    unsigned count = 0;
+    std::uint64_t sum = 0;
+    stc.forEach([&](std::uint64_t g, StcMeta &) {
+        ++count;
+        sum += g;
+    });
+    EXPECT_EQ(count, 4u);
+    EXPECT_EQ(sum, 6u);
+}

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Tests for the Table 8 timing parameters, the analytic swap
+ * latency, and the min_benefit derivation (Sec. 4.1).
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/timing.hh"
+#include "sim/system.hh"
+
+using namespace profess;
+using namespace profess::mem;
+
+TEST(Timing, NsConversion)
+{
+    // 1 MC cycle = 1.25 ns at 0.8 GHz.
+    EXPECT_EQ(nsToCycles(1.25), 1u);
+    EXPECT_EQ(nsToCycles(13.75), 11u);
+    EXPECT_EQ(nsToCycles(137.50), 110u);
+    EXPECT_EQ(nsToCycles(15.0), 12u);
+    EXPECT_EQ(nsToCycles(275.0), 220u);
+    EXPECT_EQ(nsToCycles(0.0), 0u);
+    // Rounds up.
+    EXPECT_EQ(nsToCycles(1.3), 2u);
+}
+
+TEST(Timing, M1MatchesTable8)
+{
+    TimingParams m1 = m1Timing();
+    EXPECT_EQ(m1.tRCD, 11u);
+    EXPECT_EQ(m1.tRP, 11u);
+    EXPECT_EQ(m1.tCL, 11u);
+    EXPECT_EQ(m1.tWR, 12u);
+    EXPECT_EQ(m1.tBurst, 4u);
+    EXPECT_GT(m1.tREFI, 0u); // DRAM refreshes
+    EXPECT_FALSE(m1.writeRecoveryPerAccess);
+}
+
+TEST(Timing, M2MatchesTable8)
+{
+    TimingParams m1 = m1Timing();
+    TimingParams m2 = m2Timing();
+    // tRCD_M2 = 10 x tRCD_M1 (Table 8).
+    EXPECT_EQ(m2.tRCD, 110u);
+    // tWR_M2 = 2 x tRCD_M2 (Sec. 4.1).
+    EXPECT_EQ(m2.tWR, 220u);
+    // Other column timings identical.
+    EXPECT_EQ(m2.tCL, m1.tCL);
+    EXPECT_EQ(m2.tRP, m1.tRP);
+    EXPECT_EQ(m2.tBurst, m1.tBurst);
+    // tRAS adjusted, no refresh, per-write recovery (NVM).
+    EXPECT_GT(m2.tRAS, m1.tRAS);
+    EXPECT_EQ(m2.tREFI, 0u);
+    EXPECT_TRUE(m2.writeRecoveryPerAccess);
+}
+
+TEST(Timing, M2WriteScale)
+{
+    TimingParams half = m2Timing(0.5);
+    TimingParams dbl = m2Timing(2.0);
+    EXPECT_EQ(half.tWR, 110u);
+    EXPECT_EQ(dbl.tWR, 440u);
+    // Only tWR changes.
+    EXPECT_EQ(half.tRCD, m2Timing().tRCD);
+}
+
+TEST(Timing, WithWriteRecovery)
+{
+    TimingParams p = m1Timing().withWriteRecovery(99);
+    EXPECT_EQ(p.tWR, 99u);
+    EXPECT_EQ(p.tRCD, m1Timing().tRCD);
+}
+
+TEST(SwapLatency, MatchesPaperAnalytic)
+{
+    // Sec. 4.1: the analytic 2-KiB swap latency is 796.25 ns; our
+    // overlap model must land within 5%.
+    Cycles c = swapLatencyCycles(m1Timing(), m2Timing(), 2048);
+    double ns = static_cast<double>(c) / mcCyclesPerNs;
+    EXPECT_NEAR(ns, 796.25, 0.05 * 796.25);
+}
+
+TEST(SwapLatency, ScalesWithBlockSize)
+{
+    Cycles c2k = swapLatencyCycles(m1Timing(), m2Timing(), 2048);
+    Cycles c4k = swapLatencyCycles(m1Timing(), m2Timing(), 4096);
+    Cycles c64 = swapLatencyCycles(m1Timing(), m2Timing(), 64);
+    EXPECT_GT(c4k, c2k);
+    EXPECT_LT(c64, c2k);
+    // 4-KiB swap moves twice the bursts but shares the fixed
+    // activation and recovery parts.
+    EXPECT_LT(c4k, 2 * c2k);
+}
+
+TEST(SwapLatency, GrowsWithWriteRecovery)
+{
+    Cycles base = swapLatencyCycles(m1Timing(), m2Timing(), 2048);
+    Cycles dbl = swapLatencyCycles(m1Timing(), m2Timing(2.0), 2048);
+    EXPECT_EQ(dbl, base + 220);
+}
+
+TEST(MinBenefit, MatchesPaperK)
+{
+    // Sec. 4.1 derives K = 7 and rounds up to 8.
+    unsigned k =
+        sim::deriveMinBenefit(m1Timing(), m2Timing(), 2048);
+    EXPECT_EQ(k, 8u);
+}
+
+TEST(MinBenefit, GrowsWithSwapCost)
+{
+    unsigned k8 =
+        sim::deriveMinBenefit(m1Timing(), m2Timing(), 2048);
+    unsigned k_dbl =
+        sim::deriveMinBenefit(m1Timing(), m2Timing(2.0), 2048);
+    EXPECT_GT(k_dbl, k8);
+}
