@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_profess.dir/ablation_profess.cc.o"
+  "CMakeFiles/ablation_profess.dir/ablation_profess.cc.o.d"
+  "ablation_profess"
+  "ablation_profess.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_profess.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rsm_pom.dir/ablation_rsm_pom.cc.o"
+  "CMakeFiles/ablation_rsm_pom.dir/ablation_rsm_pom.cc.o.d"
+  "ablation_rsm_pom"
+  "ablation_rsm_pom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rsm_pom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

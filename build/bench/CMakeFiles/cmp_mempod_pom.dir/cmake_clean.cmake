@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmp_mempod_pom.dir/cmp_mempod_pom.cc.o"
+  "CMakeFiles/cmp_mempod_pom.dir/cmp_mempod_pom.cc.o.d"
+  "cmp_mempod_pom"
+  "cmp_mempod_pom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmp_mempod_pom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for cmp_mempod_pom.
+# This may be replaced when dependencies are built.

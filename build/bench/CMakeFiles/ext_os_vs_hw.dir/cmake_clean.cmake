@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_os_vs_hw.dir/ext_os_vs_hw.cc.o"
+  "CMakeFiles/ext_os_vs_hw.dir/ext_os_vs_hw.cc.o.d"
+  "ext_os_vs_hw"
+  "ext_os_vs_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_os_vs_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_pom_slowdowns.dir/fig02_pom_slowdowns.cc.o"
+  "CMakeFiles/fig02_pom_slowdowns.dir/fig02_pom_slowdowns.cc.o.d"
+  "fig02_pom_slowdowns"
+  "fig02_pom_slowdowns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_pom_slowdowns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

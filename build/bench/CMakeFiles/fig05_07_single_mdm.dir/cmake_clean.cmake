@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_07_single_mdm.dir/fig05_07_single_mdm.cc.o"
+  "CMakeFiles/fig05_07_single_mdm.dir/fig05_07_single_mdm.cc.o.d"
+  "fig05_07_single_mdm"
+  "fig05_07_single_mdm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_07_single_mdm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

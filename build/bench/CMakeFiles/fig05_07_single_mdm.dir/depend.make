@@ -1,0 +1,2 @@
+# Empty dependencies file for fig05_07_single_mdm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_12_multi_mdm.dir/fig10_12_multi_mdm.cc.o"
+  "CMakeFiles/fig10_12_multi_mdm.dir/fig10_12_multi_mdm.cc.o.d"
+  "fig10_12_multi_mdm"
+  "fig10_12_multi_mdm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_12_multi_mdm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_15_multi_profess.dir/fig13_15_multi_profess.cc.o"
+  "CMakeFiles/fig13_15_multi_profess.dir/fig13_15_multi_profess.cc.o.d"
+  "fig13_15_multi_profess"
+  "fig13_15_multi_profess.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_15_multi_profess.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

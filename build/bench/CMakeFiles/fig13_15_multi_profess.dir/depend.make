@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13_15_multi_profess.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_slowdown_detail.dir/fig16_slowdown_detail.cc.o"
+  "CMakeFiles/fig16_slowdown_detail.dir/fig16_slowdown_detail.cc.o.d"
+  "fig16_slowdown_detail"
+  "fig16_slowdown_detail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_slowdown_detail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sens_capacity_ratio.dir/sens_capacity_ratio.cc.o"
+  "CMakeFiles/sens_capacity_ratio.dir/sens_capacity_ratio.cc.o.d"
+  "sens_capacity_ratio"
+  "sens_capacity_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sens_capacity_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sens_write_latency.dir/sens_write_latency.cc.o"
+  "CMakeFiles/sens_write_latency.dir/sens_write_latency.cc.o.d"
+  "sens_write_latency"
+  "sens_write_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sens_write_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profess_cache.dir/cache.cc.o"
+  "CMakeFiles/profess_cache.dir/cache.cc.o.d"
+  "libprofess_cache.a"
+  "libprofess_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profess_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

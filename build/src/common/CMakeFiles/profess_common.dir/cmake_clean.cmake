@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profess_common.dir/config.cc.o"
+  "CMakeFiles/profess_common.dir/config.cc.o.d"
+  "CMakeFiles/profess_common.dir/logging.cc.o"
+  "CMakeFiles/profess_common.dir/logging.cc.o.d"
+  "CMakeFiles/profess_common.dir/stats.cc.o"
+  "CMakeFiles/profess_common.dir/stats.cc.o.d"
+  "libprofess_common.a"
+  "libprofess_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profess_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

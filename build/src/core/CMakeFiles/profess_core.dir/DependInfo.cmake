@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/mdm.cc" "src/core/CMakeFiles/profess_core.dir/mdm.cc.o" "gcc" "src/core/CMakeFiles/profess_core.dir/mdm.cc.o.d"
+  "/root/repo/src/core/mdm_policy.cc" "src/core/CMakeFiles/profess_core.dir/mdm_policy.cc.o" "gcc" "src/core/CMakeFiles/profess_core.dir/mdm_policy.cc.o.d"
+  "/root/repo/src/core/profess.cc" "src/core/CMakeFiles/profess_core.dir/profess.cc.o" "gcc" "src/core/CMakeFiles/profess_core.dir/profess.cc.o.d"
+  "/root/repo/src/core/rsm.cc" "src/core/CMakeFiles/profess_core.dir/rsm.cc.o" "gcc" "src/core/CMakeFiles/profess_core.dir/rsm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/profess_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hybrid/CMakeFiles/profess_hybrid.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/profess_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/profess_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profess_core.dir/mdm.cc.o"
+  "CMakeFiles/profess_core.dir/mdm.cc.o.d"
+  "CMakeFiles/profess_core.dir/mdm_policy.cc.o"
+  "CMakeFiles/profess_core.dir/mdm_policy.cc.o.d"
+  "CMakeFiles/profess_core.dir/profess.cc.o"
+  "CMakeFiles/profess_core.dir/profess.cc.o.d"
+  "CMakeFiles/profess_core.dir/rsm.cc.o"
+  "CMakeFiles/profess_core.dir/rsm.cc.o.d"
+  "libprofess_core.a"
+  "libprofess_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profess_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

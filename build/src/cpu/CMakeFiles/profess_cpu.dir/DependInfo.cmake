@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/cache_filter.cc" "src/cpu/CMakeFiles/profess_cpu.dir/cache_filter.cc.o" "gcc" "src/cpu/CMakeFiles/profess_cpu.dir/cache_filter.cc.o.d"
+  "/root/repo/src/cpu/core_model.cc" "src/cpu/CMakeFiles/profess_cpu.dir/core_model.cc.o" "gcc" "src/cpu/CMakeFiles/profess_cpu.dir/core_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/profess_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/profess_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/profess_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profess_cpu.dir/cache_filter.cc.o"
+  "CMakeFiles/profess_cpu.dir/cache_filter.cc.o.d"
+  "CMakeFiles/profess_cpu.dir/core_model.cc.o"
+  "CMakeFiles/profess_cpu.dir/core_model.cc.o.d"
+  "libprofess_cpu.a"
+  "libprofess_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profess_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

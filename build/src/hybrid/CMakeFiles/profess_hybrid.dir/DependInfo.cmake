@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hybrid/hybrid_controller.cc" "src/hybrid/CMakeFiles/profess_hybrid.dir/hybrid_controller.cc.o" "gcc" "src/hybrid/CMakeFiles/profess_hybrid.dir/hybrid_controller.cc.o.d"
+  "/root/repo/src/hybrid/stc.cc" "src/hybrid/CMakeFiles/profess_hybrid.dir/stc.cc.o" "gcc" "src/hybrid/CMakeFiles/profess_hybrid.dir/stc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/profess_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/profess_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/profess_os.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

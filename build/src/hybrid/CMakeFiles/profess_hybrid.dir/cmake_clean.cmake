@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profess_hybrid.dir/hybrid_controller.cc.o"
+  "CMakeFiles/profess_hybrid.dir/hybrid_controller.cc.o.d"
+  "CMakeFiles/profess_hybrid.dir/stc.cc.o"
+  "CMakeFiles/profess_hybrid.dir/stc.cc.o.d"
+  "libprofess_hybrid.a"
+  "libprofess_hybrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profess_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

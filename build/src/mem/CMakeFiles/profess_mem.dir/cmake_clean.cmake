@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profess_mem.dir/channel.cc.o"
+  "CMakeFiles/profess_mem.dir/channel.cc.o.d"
+  "CMakeFiles/profess_mem.dir/memory_system.cc.o"
+  "CMakeFiles/profess_mem.dir/memory_system.cc.o.d"
+  "CMakeFiles/profess_mem.dir/timing.cc.o"
+  "CMakeFiles/profess_mem.dir/timing.cc.o.d"
+  "libprofess_mem.a"
+  "libprofess_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profess_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

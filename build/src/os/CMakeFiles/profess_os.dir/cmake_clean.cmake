@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profess_os.dir/page_allocator.cc.o"
+  "CMakeFiles/profess_os.dir/page_allocator.cc.o.d"
+  "libprofess_os.a"
+  "libprofess_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profess_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/policy/mempod.cc" "src/policy/CMakeFiles/profess_policy.dir/mempod.cc.o" "gcc" "src/policy/CMakeFiles/profess_policy.dir/mempod.cc.o.d"
+  "/root/repo/src/policy/pom.cc" "src/policy/CMakeFiles/profess_policy.dir/pom.cc.o" "gcc" "src/policy/CMakeFiles/profess_policy.dir/pom.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/profess_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hybrid/CMakeFiles/profess_hybrid.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/profess_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/profess_os.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

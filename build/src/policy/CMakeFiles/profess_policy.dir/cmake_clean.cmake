@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profess_policy.dir/mempod.cc.o"
+  "CMakeFiles/profess_policy.dir/mempod.cc.o.d"
+  "CMakeFiles/profess_policy.dir/pom.cc.o"
+  "CMakeFiles/profess_policy.dir/pom.cc.o.d"
+  "libprofess_policy.a"
+  "libprofess_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profess_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

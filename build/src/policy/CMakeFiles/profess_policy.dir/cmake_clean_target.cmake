@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libprofess_policy.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profess_sim.dir/experiment.cc.o"
+  "CMakeFiles/profess_sim.dir/experiment.cc.o.d"
+  "CMakeFiles/profess_sim.dir/report.cc.o"
+  "CMakeFiles/profess_sim.dir/report.cc.o.d"
+  "CMakeFiles/profess_sim.dir/system.cc.o"
+  "CMakeFiles/profess_sim.dir/system.cc.o.d"
+  "CMakeFiles/profess_sim.dir/workloads.cc.o"
+  "CMakeFiles/profess_sim.dir/workloads.cc.o.d"
+  "libprofess_sim.a"
+  "libprofess_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profess_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profess_trace.dir/patterns.cc.o"
+  "CMakeFiles/profess_trace.dir/patterns.cc.o.d"
+  "CMakeFiles/profess_trace.dir/spec_profiles.cc.o"
+  "CMakeFiles/profess_trace.dir/spec_profiles.cc.o.d"
+  "CMakeFiles/profess_trace.dir/synthetic.cc.o"
+  "CMakeFiles/profess_trace.dir/synthetic.cc.o.d"
+  "CMakeFiles/profess_trace.dir/trace_file.cc.o"
+  "CMakeFiles/profess_trace.dir/trace_file.cc.o.d"
+  "libprofess_trace.a"
+  "libprofess_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profess_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

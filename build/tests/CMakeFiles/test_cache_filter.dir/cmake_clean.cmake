@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cache_filter.dir/test_cache_filter.cc.o"
+  "CMakeFiles/test_cache_filter.dir/test_cache_filter.cc.o.d"
+  "test_cache_filter"
+  "test_cache_filter.pdb"
+  "test_cache_filter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cache_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

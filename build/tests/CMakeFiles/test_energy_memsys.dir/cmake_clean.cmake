@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_energy_memsys.dir/test_energy_memsys.cc.o"
+  "CMakeFiles/test_energy_memsys.dir/test_energy_memsys.cc.o.d"
+  "test_energy_memsys"
+  "test_energy_memsys.pdb"
+  "test_energy_memsys[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_energy_memsys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

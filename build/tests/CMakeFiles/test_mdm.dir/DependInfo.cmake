@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_mdm.cc" "tests/CMakeFiles/test_mdm.dir/test_mdm.cc.o" "gcc" "tests/CMakeFiles/test_mdm.dir/test_mdm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/profess_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/profess_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/profess_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/profess_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/profess_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/hybrid/CMakeFiles/profess_hybrid.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/profess_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/profess_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/profess_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/profess_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

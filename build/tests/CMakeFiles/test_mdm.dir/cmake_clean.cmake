@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mdm.dir/test_mdm.cc.o"
+  "CMakeFiles/test_mdm.dir/test_mdm.cc.o.d"
+  "test_mdm"
+  "test_mdm.pdb"
+  "test_mdm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mdm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_profess.dir/test_profess.cc.o"
+  "CMakeFiles/test_profess.dir/test_profess.cc.o.d"
+  "test_profess"
+  "test_profess.pdb"
+  "test_profess[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_profess.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_st_stc.dir/test_st_stc.cc.o"
+  "CMakeFiles/test_st_stc.dir/test_st_stc.cc.o.d"
+  "test_st_stc"
+  "test_st_stc.pdb"
+  "test_st_stc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_st_stc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

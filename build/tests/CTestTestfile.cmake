@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_cache_filter[1]_include.cmake")
+include("/root/repo/build/tests/test_channel[1]_include.cmake")
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_controller[1]_include.cmake")
+include("/root/repo/build/tests/test_core_model[1]_include.cmake")
+include("/root/repo/build/tests/test_layout[1]_include.cmake")
+include("/root/repo/build/tests/test_mdm[1]_include.cmake")
+include("/root/repo/build/tests/test_os[1]_include.cmake")
+include("/root/repo/build/tests/test_policies[1]_include.cmake")
+include("/root/repo/build/tests/test_profess[1]_include.cmake")
+include("/root/repo/build/tests/test_rsm[1]_include.cmake")
+include("/root/repo/build/tests/test_st_stc[1]_include.cmake")
+include("/root/repo/build/tests/test_system[1]_include.cmake")
+include("/root/repo/build/tests/test_timing[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_invariants[1]_include.cmake")
+include("/root/repo/build/tests/test_reproduction[1]_include.cmake")
+include("/root/repo/build/tests/test_energy_memsys[1]_include.cmake")
