@@ -18,40 +18,18 @@ using namespace profess::bench;
 namespace
 {
 
-void
-runPoint(const bench::BenchEnv &env, const char *label,
-         double factor_thr, double product_thr,
-         std::uint64_t msamp)
+struct AblationPoint
 {
-    sim::SystemConfig cfg = sim::SystemConfig::quadCore();
-    cfg.core.instrQuota = env.multiInstr;
-    cfg.core.warmupInstr = env.warmupInstr;
-    cfg.professFactorThreshold = factor_thr;
-    cfg.professProductThreshold = product_thr;
-    cfg.msamp = msamp;
-    sim::ExperimentRunner runner(cfg);
-
-    RatioSeries sdn, ws;
-    unsigned count = 0;
-    for (const std::string &wname : env.workloads) {
-        if (++count > 6)
-            break;
-        const sim::WorkloadSpec *w = sim::findWorkload(wname);
-        if (!w)
-            continue;
-        sim::MultiMetrics pom = runner.runMulti("pom", *w);
-        sim::MultiMetrics pf = runner.runMulti("profess", *w);
-        sdn.add(pf.maxSlowdown / pom.maxSlowdown);
-        ws.add(pf.weightedSpeedup / pom.weightedSpeedup);
-    }
-    std::printf("%-28s maxSdn/PoM %.3f   ws/PoM %.3f\n", label,
-                sdn.gmean(), ws.gmean());
-}
+    const char *label;
+    double factorThr;
+    double productThr;
+    std::uint64_t msamp;
+};
 
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     BenchEnv env = benchEnv();
     header("Ablation: ProFess thresholds and Msamp",
@@ -59,17 +37,61 @@ main()
     std::printf("\n(first six Table 10 workloads, ProFess "
                 "normalized to PoM)\n\n");
 
-    runPoint(env, "no hysteresis (t=1.0)", 1.0, 1.0, 2048);
-    runPoint(env, "paper t=1/32, tp=1/16", 1.0 + 1.0 / 32.0,
-             1.0 + 1.0 / 16.0, 2048);
-    runPoint(env, "strong t=1/8, tp=1/4", 1.125, 1.25, 2048);
-    runPoint(env, "guidance off (t=1e9)", 1e9, 1e9, 2048);
-    std::printf("\n");
-    runPoint(env, "Msamp=512", 1.0 + 1.0 / 32.0,
-             1.0 + 1.0 / 16.0, 512);
-    runPoint(env, "Msamp=2048 (default)", 1.0 + 1.0 / 32.0,
-             1.0 + 1.0 / 16.0, 2048);
-    runPoint(env, "Msamp=8192", 1.0 + 1.0 / 32.0,
-             1.0 + 1.0 / 16.0, 8192);
+    const double t32 = 1.0 + 1.0 / 32.0;
+    const double t16 = 1.0 + 1.0 / 16.0;
+    const AblationPoint points[] = {
+        {"no hysteresis (t=1.0)", 1.0, 1.0, 2048},
+        {"paper t=1/32, tp=1/16", t32, t16, 2048},
+        {"strong t=1/8, tp=1/4", 1.125, 1.25, 2048},
+        {"guidance off (t=1e9)", 1e9, 1e9, 2048},
+        {"Msamp=512", t32, t16, 512},
+        {"Msamp=2048 (default)", t32, t16, 2048},
+        {"Msamp=8192", t32, t16, 8192},
+    };
+    const std::size_t num_points =
+        sizeof(points) / sizeof(points[0]);
+
+    std::vector<const sim::WorkloadSpec *> wls;
+    unsigned count = 0;
+    for (const std::string &wname : env.workloads) {
+        if (++count > 6)
+            break;
+        if (const sim::WorkloadSpec *w = sim::findWorkload(wname))
+            wls.push_back(w);
+    }
+
+    // One flat batch over every (point, workload, policy) triple:
+    // all seven ablation points sweep concurrently.
+    sim::ParallelRunner runner = makeRunner(argc, argv);
+    std::vector<sim::RunJob> jobs;
+    for (std::size_t k = 0; k < num_points; ++k) {
+        sim::SystemConfig cfg = sim::SystemConfig::quadCore();
+        cfg.core.instrQuota = env.multiInstr;
+        cfg.core.warmupInstr = env.warmupInstr;
+        cfg.professFactorThreshold = points[k].factorThr;
+        cfg.professProductThreshold = points[k].productThr;
+        cfg.msamp = points[k].msamp;
+        for (const sim::WorkloadSpec *w : wls) {
+            jobs.push_back(sim::multiJob(cfg, "pom", *w, k));
+            jobs.push_back(sim::multiJob(cfg, "profess", *w, k));
+        }
+    }
+    std::vector<sim::MultiMetrics> res = runner.run(jobs);
+
+    for (std::size_t k = 0; k < num_points; ++k) {
+        RatioSeries sdn, ws;
+        for (std::size_t j = 0; j < wls.size(); ++j) {
+            const sim::MultiMetrics &pom =
+                res[(k * wls.size() + j) * 2];
+            const sim::MultiMetrics &pf =
+                res[(k * wls.size() + j) * 2 + 1];
+            sdn.add(pf.maxSlowdown / pom.maxSlowdown);
+            ws.add(pf.weightedSpeedup / pom.weightedSpeedup);
+        }
+        std::printf("%-28s maxSdn/PoM %.3f   ws/PoM %.3f\n",
+                    points[k].label, sdn.gmean(), ws.gmean());
+        if (k == 3)
+            std::printf("\n");
+    }
     return 0;
 }

@@ -17,7 +17,7 @@ using namespace profess;
 using namespace profess::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     BenchEnv env = benchEnv();
     header("Ablation: RSM guidance around PoM (paper Sec. 6)",
@@ -26,12 +26,10 @@ main()
     sim::SystemConfig cfg = sim::SystemConfig::quadCore();
     cfg.core.instrQuota = env.multiInstr;
     cfg.core.warmupInstr = env.warmupInstr;
-    sim::ExperimentRunner runner(cfg);
+    sim::ParallelRunner runner = makeRunner(argc, argv);
 
-    std::printf("\n%-5s | %9s %9s | %9s %9s | %9s %9s\n", "wl",
-                "pom.sdn", "pom.ws", "rsm.sdn", "rsm.ws",
-                "pf.sdn", "pf.ws");
-    RatioSeries sdn_rsm, sdn_pf;
+    std::vector<sim::RunJob> jobs;
+    std::vector<std::string> names;
     unsigned count = 0;
     for (const std::string &wname : env.workloads) {
         if (++count > 8)
@@ -39,14 +37,26 @@ main()
         const sim::WorkloadSpec *w = sim::findWorkload(wname);
         if (!w)
             continue;
-        sim::MultiMetrics pom = runner.runMulti("pom", *w);
-        sim::MultiMetrics rsm = runner.runMulti("rsm-pom", *w);
-        sim::MultiMetrics pf = runner.runMulti("profess", *w);
+        names.push_back(wname);
+        jobs.push_back(sim::multiJob(cfg, "pom", *w));
+        jobs.push_back(sim::multiJob(cfg, "rsm-pom", *w));
+        jobs.push_back(sim::multiJob(cfg, "profess", *w));
+    }
+    std::vector<sim::MultiMetrics> res = runner.run(jobs);
+
+    std::printf("\n%-5s | %9s %9s | %9s %9s | %9s %9s\n", "wl",
+                "pom.sdn", "pom.ws", "rsm.sdn", "rsm.ws",
+                "pf.sdn", "pf.ws");
+    RatioSeries sdn_rsm, sdn_pf;
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const sim::MultiMetrics &pom = res[3 * i];
+        const sim::MultiMetrics &rsm = res[3 * i + 1];
+        const sim::MultiMetrics &pf = res[3 * i + 2];
         sdn_rsm.add(rsm.maxSlowdown / pom.maxSlowdown);
         sdn_pf.add(pf.maxSlowdown / pom.maxSlowdown);
         std::printf("%-5s | %9.2f %9.3f | %9.2f %9.3f | %9.2f "
                     "%9.3f\n",
-                    wname.c_str(), pom.maxSlowdown,
+                    names[i].c_str(), pom.maxSlowdown,
                     pom.weightedSpeedup, rsm.maxSlowdown,
                     rsm.weightedSpeedup, pf.maxSlowdown,
                     pf.weightedSpeedup);

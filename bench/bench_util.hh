@@ -8,6 +8,14 @@
  *   PROFESS_WARMUP    warm-up instructions (default 1M)
  *   PROFESS_QUICK     =1: quarter-size runs for smoke testing
  *   PROFESS_WORKLOADS comma list (default: all of Table 10)
+ *   PROFESS_JOBS      worker threads (default: all hardware
+ *                     threads); `--jobs N` / `-j N` overrides
+ *   PROFESS_PROGRESS  =1/=0: force per-job progress lines on/off
+ *                     (default: on when stderr is a terminal)
+ *
+ * Results are bit-identical for every worker count: job seeds are
+ * derived from (policy, mix, sweep point), never from scheduling
+ * (see src/sim/parallel_runner.hh).
  */
 
 #ifndef PROFESS_BENCH_BENCH_UTIL_HH
@@ -20,6 +28,7 @@
 
 #include "common/stats.hh"
 #include "sim/experiment.hh"
+#include "sim/parallel_runner.hh"
 
 namespace profess
 {
@@ -87,6 +96,20 @@ header(const char *what, const char *paper_ref)
                 "DESIGN.md)\n", what, paper_ref);
     std::printf("================================================"
                 "============\n");
+}
+
+/**
+ * Experiment runner honoring `--jobs N` / `-j N` / PROFESS_JOBS,
+ * announcing the worker count when running parallel.
+ */
+inline sim::ParallelRunner
+makeRunner(int argc, char **argv)
+{
+    unsigned jobs = sim::ParallelRunner::jobsFromArgs(argc, argv);
+    if (jobs > 1)
+        std::fprintf(stderr, "[profess] running with %u workers "
+                     "(--jobs 1 for the serial path)\n", jobs);
+    return sim::ParallelRunner(jobs);
 }
 
 /** Geometric-mean accumulator for ratio series. */

@@ -17,33 +17,39 @@ using namespace profess;
 using namespace profess::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     BenchEnv env = benchEnv();
     header("Sec. 2.5: MemPod vs PoM (and Table 2 baselines)",
            "Sec. 2.5 / Table 2");
 
+    sim::ParallelRunner runner = makeRunner(argc, argv);
+
     {
         sim::SystemConfig cfg = sim::SystemConfig::singleCore();
         cfg.core.instrQuota = env.singleInstr;
         cfg.core.warmupInstr = env.warmupInstr;
-        sim::ExperimentRunner runner(cfg);
+        const char *policies[] = {"pom", "mempod", "cameo",
+                                  "silcfm"};
+        std::vector<std::string> programs = allPrograms();
+        std::vector<sim::RunJob> jobs;
+        for (const std::string &prog : programs)
+            for (const char *pol : policies)
+                jobs.push_back(sim::singleJob(cfg, pol, prog));
+        std::vector<sim::MultiMetrics> res = runner.run(jobs);
+
         std::printf("\nsingle-program mean read latency (ns):\n");
         std::printf("%-12s %8s %8s %8s %8s\n", "program", "pom",
                     "mempod", "cameo", "silcfm");
         RatioSeries mp_ratio;
-        for (const std::string &prog : allPrograms()) {
-            double pom =
-                runner.run("pom", {prog}).meanReadLatencyNs;
-            double mp =
-                runner.run("mempod", {prog}).meanReadLatencyNs;
-            double cam =
-                runner.run("cameo", {prog}).meanReadLatencyNs;
-            double silc =
-                runner.run("silcfm", {prog}).meanReadLatencyNs;
+        for (std::size_t p = 0; p < programs.size(); ++p) {
+            double pom = res[4 * p].run.meanReadLatencyNs;
+            double mp = res[4 * p + 1].run.meanReadLatencyNs;
+            double cam = res[4 * p + 2].run.meanReadLatencyNs;
+            double silc = res[4 * p + 3].run.meanReadLatencyNs;
             mp_ratio.add(mp / pom);
             std::printf("%-12s %8.1f %8.1f %8.1f %8.1f\n",
-                        prog.c_str(), pom, mp, cam, silc);
+                        programs[p].c_str(), pom, mp, cam, silc);
         }
         std::printf("MemPod/PoM AMMAT gmean: %.3f (%s; paper "
                     "+19%%)\n",
@@ -55,12 +61,8 @@ main()
         sim::SystemConfig cfg = sim::SystemConfig::quadCore();
         cfg.core.instrQuota = env.multiInstr;
         cfg.core.warmupInstr = env.warmupInstr;
-        sim::ExperimentRunner runner(cfg);
-        std::printf("\nmulti-program mean read latency (ns), "
-                    "first five workloads:\n");
-        std::printf("%-5s %8s %8s %10s\n", "wl", "pom", "mempod",
-                    "ratio");
-        RatioSeries mp_ratio;
+        std::vector<sim::RunJob> jobs;
+        std::vector<std::string> names;
         unsigned count = 0;
         for (const std::string &wname : env.workloads) {
             if (++count > 5)
@@ -68,15 +70,26 @@ main()
             const sim::WorkloadSpec *w = sim::findWorkload(wname);
             if (!w)
                 continue;
-            std::vector<std::string> progs(w->programs.begin(),
-                                           w->programs.end());
-            double pom =
-                runner.run("pom", progs).meanReadLatencyNs;
-            double mp =
-                runner.run("mempod", progs).meanReadLatencyNs;
+            names.push_back(wname);
+            for (const char *pol : {"pom", "mempod"}) {
+                sim::RunJob j = sim::multiJob(cfg, pol, *w);
+                j.slowdowns = false; // only AMMAT is needed
+                jobs.push_back(j);
+            }
+        }
+        std::vector<sim::MultiMetrics> res = runner.run(jobs);
+
+        std::printf("\nmulti-program mean read latency (ns), "
+                    "first five workloads:\n");
+        std::printf("%-5s %8s %8s %10s\n", "wl", "pom", "mempod",
+                    "ratio");
+        RatioSeries mp_ratio;
+        for (std::size_t i = 0; i < names.size(); ++i) {
+            double pom = res[2 * i].run.meanReadLatencyNs;
+            double mp = res[2 * i + 1].run.meanReadLatencyNs;
             mp_ratio.add(mp / pom);
-            std::printf("%-5s %8.1f %8.1f %10.3f\n", wname.c_str(),
-                        pom, mp, mp / pom);
+            std::printf("%-5s %8.1f %8.1f %10.3f\n",
+                        names[i].c_str(), pom, mp, mp / pom);
         }
         std::printf("MemPod/PoM AMMAT gmean: %.3f (%s; paper "
                     "+18%%)\n",

@@ -20,7 +20,7 @@ using namespace profess;
 using namespace profess::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     BenchEnv env = benchEnv();
     header("Extension: OS coarse-grain vs hardware management",
@@ -29,7 +29,14 @@ main()
     sim::SystemConfig cfg = sim::SystemConfig::singleCore();
     cfg.core.instrQuota = env.singleInstr;
     cfg.core.warmupInstr = env.warmupInstr;
-    sim::ExperimentRunner runner(cfg);
+    sim::ParallelRunner runner = makeRunner(argc, argv);
+
+    std::vector<std::string> programs = allPrograms();
+    std::vector<sim::RunJob> jobs;
+    for (const std::string &prog : programs)
+        for (const char *pol : {"oscoarse", "pom", "profess"})
+            jobs.push_back(sim::singleJob(cfg, pol, prog));
+    std::vector<sim::MultiMetrics> res = runner.run(jobs);
 
     std::printf("\n%-12s %21s %21s %21s\n", "",
                 "oscoarse", "pom", "profess");
@@ -37,14 +44,15 @@ main()
                 "program", "IPC", "M1%", "sw%", "IPC", "M1%",
                 "sw%", "IPC", "M1%", "sw%");
     RatioSeries os_vs_pom;
-    for (const std::string &prog : allPrograms()) {
-        sim::RunResult os = runner.run("oscoarse", {prog});
-        sim::RunResult pom = runner.run("pom", {prog});
-        sim::RunResult pf = runner.run("profess", {prog});
+    for (std::size_t p = 0; p < programs.size(); ++p) {
+        const sim::RunResult &os = res[3 * p].run;
+        const sim::RunResult &pom = res[3 * p + 1].run;
+        const sim::RunResult &pf = res[3 * p + 2].run;
         os_vs_pom.add(os.ipc[0] / pom.ipc[0]);
         std::printf("%-12s %8.3f %5.1f%% %4.1f%% %8.3f %5.1f%% "
                     "%4.1f%% %8.3f %5.1f%% %4.1f%%\n",
-                    prog.c_str(), os.ipc[0], 100.0 * os.m1Fraction,
+                    programs[p].c_str(), os.ipc[0],
+                    100.0 * os.m1Fraction,
                     100.0 * os.swapFraction, pom.ipc[0],
                     100.0 * pom.m1Fraction,
                     100.0 * pom.swapFraction, pf.ipc[0],

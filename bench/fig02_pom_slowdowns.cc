@@ -14,7 +14,7 @@ using namespace profess;
 using namespace profess::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     BenchEnv env = benchEnv();
     header("Fig. 2: slowdowns under PoM", "Figure 2");
@@ -22,11 +22,19 @@ main()
     sim::SystemConfig cfg = sim::SystemConfig::quadCore();
     cfg.core.instrQuota = env.multiInstr;
     cfg.core.warmupInstr = env.warmupInstr;
-    sim::ExperimentRunner runner(cfg);
+    sim::ParallelRunner runner = makeRunner(argc, argv);
 
-    for (const char *wname : {"w09", "w16", "w19"}) {
+    const char *wnames[] = {"w09", "w16", "w19"};
+    std::vector<sim::RunJob> jobs;
+    for (const char *wname : wnames)
+        jobs.push_back(
+            sim::multiJob(cfg, "pom", *sim::findWorkload(wname)));
+    std::vector<sim::MultiMetrics> res = runner.run(jobs);
+
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const char *wname = wnames[i];
         const sim::WorkloadSpec *w = sim::findWorkload(wname);
-        sim::MultiMetrics m = runner.runMulti("pom", *w);
+        const sim::MultiMetrics &m = res[i];
         std::printf("\n%s:\n", wname);
         double max_sdn = 0, min_sdn = 1e9;
         for (unsigned i = 0; i < 4; ++i) {

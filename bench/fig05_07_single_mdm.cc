@@ -18,7 +18,7 @@ using namespace profess;
 using namespace profess::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     BenchEnv env = benchEnv();
     header("Figs. 5-7: single-program MDM vs PoM", "Figures 5, 6, 7");
@@ -26,16 +26,25 @@ main()
     sim::SystemConfig cfg = sim::SystemConfig::singleCore();
     cfg.core.instrQuota = env.singleInstr;
     cfg.core.warmupInstr = env.warmupInstr;
-    sim::ExperimentRunner runner(cfg);
+    sim::ParallelRunner runner = makeRunner(argc, argv);
+
+    std::vector<std::string> programs = allPrograms();
+    std::vector<sim::RunJob> jobs;
+    for (const std::string &prog : programs) {
+        jobs.push_back(sim::singleJob(cfg, "pom", prog));
+        jobs.push_back(sim::singleJob(cfg, "mdm", prog));
+    }
+    std::vector<sim::MultiMetrics> res = runner.run(jobs);
 
     std::printf("\n%-12s %8s %8s %9s %10s %10s %8s\n", "program",
                 "IPC.pom", "IPC.mdm", "mdm/pom", "M1%.pom",
                 "M1%.mdm", "STC.mdm");
     RatioSeries ipc_ratio, m1_ratio;
     std::vector<double> stc_rates;
-    for (const std::string &prog : allPrograms()) {
-        sim::RunResult pom = runner.run("pom", {prog});
-        sim::RunResult mdm = runner.run("mdm", {prog});
+    for (std::size_t i = 0; i < programs.size(); ++i) {
+        const std::string &prog = programs[i];
+        const sim::RunResult &pom = res[2 * i].run;
+        const sim::RunResult &mdm = res[2 * i + 1].run;
         double r_ipc = mdm.ipc[0] / pom.ipc[0];
         double r_m1 = pom.m1Fraction > 0
                           ? mdm.m1Fraction / pom.m1Fraction

@@ -20,7 +20,7 @@ using namespace profess;
 using namespace profess::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     BenchEnv env = benchEnv();
     header("Figs. 8-9: STC size sensitivity of MDM",
@@ -30,25 +30,35 @@ main()
     const char *labels[] = {"small(0.5K)", "default(1K)",
                             "large(2K)"};
 
-    std::printf("\n%-12s", "program");
-    for (const char *l : labels)
-        std::printf(" %12s %8s", l, "STC%");
-    std::printf("\n");
-
-    for (const std::string &prog : allPrograms()) {
-        double ipc[3] = {};
-        double stc[3] = {};
+    sim::ParallelRunner runner = makeRunner(argc, argv);
+    std::vector<std::string> programs = allPrograms();
+    std::vector<sim::RunJob> jobs;
+    for (const std::string &prog : programs) {
         for (int i = 0; i < 3; ++i) {
             sim::SystemConfig cfg = sim::SystemConfig::singleCore();
             cfg.core.instrQuota = env.singleInstr;
             cfg.core.warmupInstr = env.warmupInstr;
             cfg.stc.capacityBytes = sizes[i];
-            sim::ExperimentRunner runner(cfg);
-            sim::RunResult r = runner.run("mdm", {prog});
+            jobs.push_back(sim::singleJob(cfg, "mdm", prog,
+                                          /*sweep_point=*/i));
+        }
+    }
+    std::vector<sim::MultiMetrics> res = runner.run(jobs);
+
+    std::printf("\n%-12s", "program");
+    for (const char *l : labels)
+        std::printf(" %12s %8s", l, "STC%");
+    std::printf("\n");
+
+    for (std::size_t p = 0; p < programs.size(); ++p) {
+        double ipc[3] = {};
+        double stc[3] = {};
+        for (int i = 0; i < 3; ++i) {
+            const sim::RunResult &r = res[3 * p + i].run;
             ipc[i] = r.ipc[0];
             stc[i] = r.stcHitRate;
         }
-        std::printf("%-12s", prog.c_str());
+        std::printf("%-12s", programs[p].c_str());
         for (int i = 0; i < 3; ++i)
             std::printf(" %12.3f %7.1f%%", ipc[i] / ipc[1],
                         100.0 * stc[i]);

@@ -19,7 +19,7 @@ using namespace profess;
 using namespace profess::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     BenchEnv env = benchEnv();
     header("Figs. 10-12: multi-program MDM vs PoM",
@@ -28,18 +28,27 @@ main()
     sim::SystemConfig cfg = sim::SystemConfig::quadCore();
     cfg.core.instrQuota = env.multiInstr;
     cfg.core.warmupInstr = env.warmupInstr;
-    sim::ExperimentRunner runner(cfg);
+    sim::ParallelRunner runner = makeRunner(argc, argv);
+
+    std::vector<sim::RunJob> jobs;
+    std::vector<std::string> names;
+    for (const std::string &wname : env.workloads) {
+        const sim::WorkloadSpec *w = sim::findWorkload(wname);
+        if (!w)
+            continue;
+        names.push_back(wname);
+        jobs.push_back(sim::multiJob(cfg, "pom", *w));
+        jobs.push_back(sim::multiJob(cfg, "mdm", *w));
+    }
+    std::vector<sim::MultiMetrics> res = runner.run(jobs);
 
     std::printf("\n%-5s %12s %12s %12s %10s %10s\n", "wl",
                 "maxSdn(norm)", "ws(norm)", "eff(norm)", "sdn.mdm",
                 "ws.mdm");
     RatioSeries sdn, ws, eff;
-    for (const std::string &wname : env.workloads) {
-        const sim::WorkloadSpec *w = sim::findWorkload(wname);
-        if (!w)
-            continue;
-        sim::MultiMetrics pom = runner.runMulti("pom", *w);
-        sim::MultiMetrics mdm = runner.runMulti("mdm", *w);
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const sim::MultiMetrics &pom = res[2 * i];
+        const sim::MultiMetrics &mdm = res[2 * i + 1];
         double r_sdn = mdm.maxSlowdown / pom.maxSlowdown;
         double r_ws = mdm.weightedSpeedup / pom.weightedSpeedup;
         double r_eff = mdm.efficiency / pom.efficiency;
@@ -47,7 +56,7 @@ main()
         ws.add(r_ws);
         eff.add(r_eff);
         std::printf("%-5s %12.3f %12.3f %12.3f %10.2f %10.3f\n",
-                    wname.c_str(), r_sdn, r_ws, r_eff,
+                    names[i].c_str(), r_sdn, r_ws, r_eff,
                     mdm.maxSlowdown, mdm.weightedSpeedup);
     }
 

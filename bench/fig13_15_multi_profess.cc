@@ -18,7 +18,7 @@ using namespace profess;
 using namespace profess::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     BenchEnv env = benchEnv();
     header("Figs. 13-15: ProFess vs PoM", "Figures 13, 14, 15");
@@ -26,18 +26,27 @@ main()
     sim::SystemConfig cfg = sim::SystemConfig::quadCore();
     cfg.core.instrQuota = env.multiInstr;
     cfg.core.warmupInstr = env.warmupInstr;
-    sim::ExperimentRunner runner(cfg);
+    sim::ParallelRunner runner = makeRunner(argc, argv);
+
+    std::vector<sim::RunJob> jobs;
+    std::vector<std::string> names;
+    for (const std::string &wname : env.workloads) {
+        const sim::WorkloadSpec *w = sim::findWorkload(wname);
+        if (!w)
+            continue;
+        names.push_back(wname);
+        jobs.push_back(sim::multiJob(cfg, "pom", *w));
+        jobs.push_back(sim::multiJob(cfg, "profess", *w));
+    }
+    std::vector<sim::MultiMetrics> res = runner.run(jobs);
 
     std::printf("\n%-5s %12s %12s %12s %11s\n", "wl",
                 "maxSdn(norm)", "ws(norm)", "eff(norm)",
                 "swapFr(norm)");
     RatioSeries sdn, ws, eff, swaps;
-    for (const std::string &wname : env.workloads) {
-        const sim::WorkloadSpec *w = sim::findWorkload(wname);
-        if (!w)
-            continue;
-        sim::MultiMetrics pom = runner.runMulti("pom", *w);
-        sim::MultiMetrics pf = runner.runMulti("profess", *w);
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const sim::MultiMetrics &pom = res[2 * i];
+        const sim::MultiMetrics &pf = res[2 * i + 1];
         double r_sdn = pf.maxSlowdown / pom.maxSlowdown;
         double r_ws = pf.weightedSpeedup / pom.weightedSpeedup;
         double r_eff = pf.efficiency / pom.efficiency;
@@ -50,7 +59,7 @@ main()
         eff.add(r_eff);
         swaps.add(r_swap);
         std::printf("%-5s %12.3f %12.3f %12.3f %11.3f\n",
-                    wname.c_str(), r_sdn, r_ws, r_eff, r_swap);
+                    names[i].c_str(), r_sdn, r_ws, r_eff, r_swap);
     }
 
     std::printf("\nFig. 13 max-slowdown ProFess/PoM: gmean %.3f "

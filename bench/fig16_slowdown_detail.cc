@@ -17,7 +17,7 @@ using namespace profess;
 using namespace profess::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     BenchEnv env = benchEnv();
     header("Fig. 16: per-program slowdown detail", "Figure 16");
@@ -25,13 +25,24 @@ main()
     sim::SystemConfig cfg = sim::SystemConfig::quadCore();
     cfg.core.instrQuota = env.multiInstr;
     cfg.core.warmupInstr = env.warmupInstr;
-    sim::ExperimentRunner runner(cfg);
+    sim::ParallelRunner runner = makeRunner(argc, argv);
 
-    for (const char *wname : {"w09", "w16", "w19"}) {
+    const char *wnames[] = {"w09", "w16", "w19"};
+    std::vector<sim::RunJob> jobs;
+    for (const char *wname : wnames) {
         const sim::WorkloadSpec *w = sim::findWorkload(wname);
-        sim::MultiMetrics pom = runner.runMulti("pom", *w);
-        sim::MultiMetrics mdm = runner.runMulti("mdm", *w);
-        sim::MultiMetrics pf = runner.runMulti("profess", *w);
+        jobs.push_back(sim::multiJob(cfg, "pom", *w));
+        jobs.push_back(sim::multiJob(cfg, "mdm", *w));
+        jobs.push_back(sim::multiJob(cfg, "profess", *w));
+    }
+    std::vector<sim::MultiMetrics> res = runner.run(jobs);
+
+    for (std::size_t wi = 0; wi < 3; ++wi) {
+        const char *wname = wnames[wi];
+        const sim::WorkloadSpec *w = sim::findWorkload(wname);
+        const sim::MultiMetrics &pom = res[3 * wi];
+        const sim::MultiMetrics &mdm = res[3 * wi + 1];
+        const sim::MultiMetrics &pf = res[3 * wi + 2];
         std::printf("\n%s: %-12s %8s %8s %8s\n", wname, "program",
                     "pom", "mdm", "profess");
         for (unsigned i = 0; i < 4; ++i) {

@@ -11,11 +11,13 @@
 #include <memory>
 
 #include "common/event.hh"
+#include "common/thread_pool.hh"
 #include "core/mdm.hh"
 #include "hybrid/stc.hh"
 #include "mem/channel.hh"
 #include "trace/spec_profiles.hh"
 #include "sim/experiment.hh"
+#include "sim/parallel_runner.hh"
 
 using namespace profess;
 
@@ -127,6 +129,50 @@ BM_SystemThroughput(benchmark::State &state)
         static_cast<double>(instr), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_SystemThroughput)->Unit(benchmark::kMillisecond);
+
+void
+BM_ThreadPoolSubmitDrain(benchmark::State &state)
+{
+    // Per-task overhead of the experiment layer's work-stealing
+    // pool (submission + steal + completion accounting).
+    ThreadPool pool(
+        static_cast<unsigned>(state.range(0)));
+    for (auto _ : state) {
+        std::atomic<int> sink{0};
+        for (int i = 0; i < 256; ++i)
+            pool.submit([&sink]() {
+                sink.fetch_add(1, std::memory_order_relaxed);
+            });
+        pool.wait();
+        benchmark::DoNotOptimize(sink.load());
+    }
+    state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_ThreadPoolSubmitDrain)->Arg(1)->Arg(4);
+
+void
+BM_ParallelRunnerBatch(benchmark::State &state)
+{
+    // Whole-batch throughput: 4 tiny single-program jobs per
+    // iteration through the full RunJob/seed-derivation path.
+    sim::SystemConfig cfg = sim::SystemConfig::singleCore();
+    cfg.core.instrQuota = 20000;
+    cfg.core.warmupInstr = 0;
+    std::vector<sim::RunJob> jobs;
+    for (int i = 0; i < 4; ++i)
+        jobs.push_back(sim::singleJob(cfg, "pom", "soplex", i));
+    sim::ParallelRunner runner(
+        static_cast<unsigned>(state.range(0)));
+    runner.setProgress(false);
+    for (auto _ : state) {
+        auto res = runner.run(jobs);
+        benchmark::DoNotOptimize(res[0].run.servedTotal);
+    }
+}
+BENCHMARK(BM_ParallelRunnerBatch)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
 
 } // anonymous namespace
 

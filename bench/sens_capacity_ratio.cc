@@ -29,7 +29,7 @@ struct RatioPoint
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     BenchEnv env = benchEnv();
     header("Sec. 5.2: sensitivity to the M1:M2 capacity ratio",
@@ -41,20 +41,31 @@ main()
         {"1:16", 17, 512 * KiB},
     };
 
-    std::printf("\n%-12s %10s %10s %10s\n", "program", "1:4",
-                "1:8", "1:16");
-    RatioSeries g[3];
-    for (const std::string &prog : allPrograms()) {
-        std::printf("%-12s", prog.c_str());
+    sim::ParallelRunner runner = makeRunner(argc, argv);
+    std::vector<std::string> programs = allPrograms();
+    std::vector<sim::RunJob> jobs;
+    for (const std::string &prog : programs) {
         for (int i = 0; i < 3; ++i) {
             sim::SystemConfig cfg = sim::SystemConfig::singleCore();
             cfg.core.instrQuota = env.singleInstr;
             cfg.core.warmupInstr = env.warmupInstr;
             cfg.slotsPerGroup = points[i].slots;
             cfg.m1BytesPerChannel = points[i].m1Bytes;
-            sim::ExperimentRunner runner(cfg);
-            double pom = runner.run("pom", {prog}).ipc[0];
-            double mdm = runner.run("mdm", {prog}).ipc[0];
+            jobs.push_back(sim::singleJob(cfg, "pom", prog, i));
+            jobs.push_back(sim::singleJob(cfg, "mdm", prog, i));
+        }
+    }
+    std::vector<sim::MultiMetrics> res = runner.run(jobs);
+
+    std::printf("\n%-12s %10s %10s %10s\n", "program", "1:4",
+                "1:8", "1:16");
+    RatioSeries g[3];
+    for (std::size_t p = 0; p < programs.size(); ++p) {
+        const std::string &prog = programs[p];
+        std::printf("%-12s", prog.c_str());
+        for (int i = 0; i < 3; ++i) {
+            double pom = res[6 * p + 2 * i].run.ipc[0];
+            double mdm = res[6 * p + 2 * i + 1].run.ipc[0];
             double r = mdm / pom;
             // The paper excludes programs fitting entirely into the
             // twice-larger M1 from the 1:4 average.

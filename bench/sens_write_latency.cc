@@ -15,30 +15,39 @@ using namespace profess;
 using namespace profess::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     BenchEnv env = benchEnv();
     header("Sec. 5.2: sensitivity to M2 write latency",
            "Sec. 5.2 (write-latency study)");
 
-    std::printf("\n%-12s %10s %10s %10s\n", "program",
-                "0.5x tWR", "1x tWR", "2x tWR");
-    RatioSeries g[3];
-    for (const std::string &prog : allPrograms()) {
-        std::printf("%-12s", prog.c_str());
-        int i = 0;
-        for (double scale : {0.5, 1.0, 2.0}) {
+    const double scales[] = {0.5, 1.0, 2.0};
+    sim::ParallelRunner runner = makeRunner(argc, argv);
+    std::vector<std::string> programs = allPrograms();
+    std::vector<sim::RunJob> jobs;
+    for (const std::string &prog : programs) {
+        for (int i = 0; i < 3; ++i) {
             sim::SystemConfig cfg = sim::SystemConfig::singleCore();
             cfg.core.instrQuota = env.singleInstr;
             cfg.core.warmupInstr = env.warmupInstr;
-            cfg.m2WriteScale = scale;
-            sim::ExperimentRunner runner(cfg);
-            double pom = runner.run("pom", {prog}).ipc[0];
-            double mdm = runner.run("mdm", {prog}).ipc[0];
+            cfg.m2WriteScale = scales[i];
+            jobs.push_back(sim::singleJob(cfg, "pom", prog, i));
+            jobs.push_back(sim::singleJob(cfg, "mdm", prog, i));
+        }
+    }
+    std::vector<sim::MultiMetrics> res = runner.run(jobs);
+
+    std::printf("\n%-12s %10s %10s %10s\n", "program",
+                "0.5x tWR", "1x tWR", "2x tWR");
+    RatioSeries g[3];
+    for (std::size_t p = 0; p < programs.size(); ++p) {
+        std::printf("%-12s", programs[p].c_str());
+        for (int i = 0; i < 3; ++i) {
+            double pom = res[6 * p + 2 * i].run.ipc[0];
+            double mdm = res[6 * p + 2 * i + 1].run.ipc[0];
             double r = mdm / pom;
             g[i].add(r);
             std::printf(" %10.3f", r);
-            ++i;
         }
         std::printf("\n");
     }

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+#
+# CI entry point: two build/test passes.
+#
+#   1. Debug + ThreadSanitizer, running only the concurrency-
+#      sensitive tests (thread pool, parallel runner, alone-IPC
+#      cache).  A data race anywhere in the parallel experiment
+#      path fails this stage.
+#   2. Release, full test suite (the tier-1 gate).
+#
+# Usage: scripts/ci.sh [jobs]   (default: nproc)
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+echo "==> [1/2] Debug + TSan: parallel runner tests"
+cmake -B build-tsan -S . \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread -g -O1" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+cmake --build build-tsan -j "$JOBS" --target test_parallel_runner
+TSAN_OPTIONS="halt_on_error=1" \
+    ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
+        -R 'ThreadPool|AloneCache|Differential|ParallelRunner'
+
+echo "==> [2/2] Release: full suite"
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "==> CI passed"

@@ -12,9 +12,45 @@
 #define PROFESS_COMMON_RNG_HH
 
 #include <cstdint>
+#include <string_view>
 
 namespace profess
 {
+
+/**
+ * SplitMix64 finalizer (Steele et al.): bijective 64-bit mixing,
+ * the standard seed-spreading function.  Used to derive
+ * statistically independent per-job seeds from structured inputs
+ * (base seed, policy, workload, sweep point) so results depend only
+ * on the job's identity — never on thread count or schedule.
+ */
+constexpr std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/** Fold a 64-bit value into a hash (order-sensitive). */
+constexpr std::uint64_t
+hashCombine(std::uint64_t h, std::uint64_t v)
+{
+    return mix64(h ^ mix64(v));
+}
+
+/** Fold a string into a hash (FNV-1a, then mixed). */
+constexpr std::uint64_t
+hashCombine(std::uint64_t h, std::string_view s)
+{
+    std::uint64_t f = 1469598103934665603ull; // FNV offset basis
+    for (char c : s) {
+        f ^= static_cast<unsigned char>(c);
+        f *= 1099511628211ull; // FNV prime
+    }
+    return hashCombine(h, f);
+}
 
 /** PCG32 pseudo-random generator: 64-bit state, 32-bit output. */
 class Rng

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * A small work-stealing thread pool for the experiment layer.
+ *
+ * Each worker owns a deque of tasks: it pushes and pops at the back
+ * (LIFO, cache-friendly for nested submission) and victims are
+ * stolen from at the front (FIFO, oldest task first).  External
+ * submissions are distributed round-robin across the worker deques.
+ * Tasks may themselves submit new tasks; `wait()` returns only once
+ * every task, including such children, has finished.
+ *
+ * This is deliberately a *correctness-first* pool: experiment jobs
+ * run for milliseconds to minutes, so per-task overhead is
+ * irrelevant next to determinism and simplicity.  Result
+ * determinism is the caller's job — tasks must write to
+ * pre-assigned slots and derive any randomness from their own
+ * identity, never from the executing thread or completion order.
+ */
+
+#ifndef PROFESS_COMMON_THREAD_POOL_HH
+#define PROFESS_COMMON_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace profess
+{
+
+/** Work-stealing fixed-size thread pool. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param workers Number of worker threads (>= 1).  Use
+     *        `defaultWorkers()` to honor the machine size.
+     */
+    explicit ThreadPool(unsigned workers);
+
+    /** Drains remaining tasks, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /**
+     * Enqueue a task.  Safe to call from worker threads (the task
+     * lands on the calling worker's own deque).
+     */
+    void submit(std::function<void()> task);
+
+    /** Block until all submitted tasks (and their children) ran. */
+    void wait();
+
+    /** @return number of worker threads. */
+    unsigned size() const
+    {
+        return static_cast<unsigned>(threads_.size());
+    }
+
+    /** @return `std::thread::hardware_concurrency()`, at least 1. */
+    static unsigned defaultWorkers();
+
+  private:
+    /** One worker's deque; back = hot end, front = steal end. */
+    struct Queue
+    {
+        std::mutex mu;
+        std::deque<std::function<void()>> tasks;
+    };
+
+    void workerLoop(unsigned self);
+    bool popOrSteal(unsigned self, std::function<void()> &out);
+
+    std::vector<std::unique_ptr<Queue>> queues_;
+    std::vector<std::thread> threads_;
+
+    std::mutex mu_;                ///< guards sleep/wake + counters
+    std::condition_variable cv_;   ///< workers sleep here
+    std::condition_variable idle_; ///< wait() sleeps here
+    std::size_t pending_ = 0;      ///< submitted but not finished
+    std::size_t nextQueue_ = 0;    ///< round-robin external target
+    bool stop_ = false;
+};
+
+} // namespace profess
+
+#endif // PROFESS_COMMON_THREAD_POOL_HH

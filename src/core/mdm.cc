@@ -127,7 +127,9 @@ Mdm::decide(const policy::AccessInfo &info, bool treat_vacant) const
     // amortize the swap at all.
     if (rem_m2 < static_cast<double>(params_.minBenefit)) {
         tally(DecidePath::NoBenefit);
-        static int debug_left =
+        // thread_local: systems may simulate concurrently under
+        // the parallel experiment runner.
+        thread_local int debug_left =
             std::getenv("PROFESS_MDM_DEBUG") ? 40 : 0;
         if (debug_left > 0 && info.now > 2000000) {
             --debug_left;

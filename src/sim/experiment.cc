@@ -1,13 +1,121 @@
 #include "sim/experiment.hh"
 
+#include <bit>
 #include <cstdio>
 #include <cstdlib>
+
+#include "common/rng.hh"
 
 namespace profess
 {
 
 namespace sim
 {
+
+std::uint64_t
+deriveSeed(std::uint64_t base, std::string_view policy,
+           std::string_view mix, std::uint64_t sweep_point)
+{
+    std::uint64_t h = mix64(base);
+    h = hashCombine(h, policy);
+    h = hashCombine(h, mix);
+    h = hashCombine(h, sweep_point);
+    // Trace sources mix small slot offsets into the seed; keep the
+    // derived seed nonzero and well-spread.
+    return h == 0 ? 0x9e3779b97f4a7c15ull : h;
+}
+
+std::uint64_t
+configFingerprint(const SystemConfig &cfg, double footprint_scale)
+{
+    auto fp = [](double d) {
+        return std::bit_cast<std::uint64_t>(d);
+    };
+    std::uint64_t h = mix64(0xC0F1C0F1ull);
+    h = hashCombine(h, cfg.numChannels);
+    h = hashCombine(h, cfg.m1BytesPerChannel);
+    h = hashCombine(h, cfg.m2BytesPerChannel);
+    h = hashCombine(h, cfg.slotsPerGroup);
+    h = hashCombine(h, cfg.numRegions);
+    h = hashCombine(h, fp(cfg.m2WriteScale));
+    h = hashCombine(h, cfg.stc.capacityBytes);
+    h = hashCombine(h, cfg.stc.ways);
+    h = hashCombine(h, cfg.stc.entryBytes);
+    h = hashCombine(h, cfg.core.width);
+    h = hashCombine(h, cfg.core.robSize);
+    h = hashCombine(h, cfg.core.maxOutstanding);
+    h = hashCombine(h, cfg.core.coreCyclesPerTick);
+    h = hashCombine(h, cfg.core.instrQuota);
+    h = hashCombine(h, cfg.core.warmupInstr);
+    h = hashCombine(h, static_cast<std::uint64_t>(
+                           cfg.modelStTraffic));
+    h = hashCombine(h, cfg.msamp);
+    h = hashCombine(h, cfg.statsFoldInterval);
+    h = hashCombine(h, fp(cfg.professFactorThreshold));
+    h = hashCombine(h, fp(cfg.professProductThreshold));
+    h = hashCombine(h, cfg.minBenefit);
+    h = hashCombine(h, cfg.allocSeed);
+    h = hashCombine(h, static_cast<std::uint64_t>(
+                           cfg.rsmPerRegionStats));
+    h = hashCombine(h, fp(footprint_scale));
+    return h;
+}
+
+double
+AloneIpcCache::getOrCompute(const std::string &key,
+                            const std::function<double()> &compute)
+{
+    std::shared_future<double> fut;
+    std::promise<double> prom;
+    bool owner = false;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        auto it = map_.find(key);
+        if (it == map_.end()) {
+            owner = true;
+            fut = prom.get_future().share();
+            map_.emplace(key, fut);
+        } else {
+            fut = it->second;
+        }
+    }
+    if (owner) {
+        // Compute in the requesting thread; concurrent requesters
+        // for the same key block on the shared future.
+        try {
+            prom.set_value(compute());
+        } catch (...) {
+            prom.set_exception(std::current_exception());
+            {
+                std::lock_guard<std::mutex> lk(mu_);
+                map_.erase(key);
+            }
+            throw;
+        }
+    }
+    return fut.get();
+}
+
+void
+AloneIpcCache::clear()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    map_.clear();
+}
+
+std::size_t
+AloneIpcCache::size() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return map_.size();
+}
+
+AloneIpcCache &
+AloneIpcCache::global()
+{
+    static AloneIpcCache cache;
+    return cache;
+}
 
 std::uint64_t
 ExperimentRunner::instrFromEnv(std::uint64_t def)
@@ -104,27 +212,40 @@ ExperimentRunner::run(const std::string &policy,
 
 double
 ExperimentRunner::aloneIpc(const std::string &policy,
-                           const std::string &program)
+                           const std::string &program,
+                           std::uint64_t seed_base)
 {
-    std::string key = policy + "/" + program;
-    auto it = aloneCache_.find(key);
-    if (it != aloneCache_.end())
-        return it->second;
-    RunResult r = run(policy, {program});
-    fatal_if(!r.completed, "stand-alone run of %s did not complete",
-             program.c_str());
-    aloneCache_[key] = r.ipc[0];
-    return r.ipc[0];
+    char key[160];
+    std::snprintf(key, sizeof(key), "%016llx/%llu/%s/%s",
+                  static_cast<unsigned long long>(
+                      configFingerprint(base_, footprintScale_)),
+                  static_cast<unsigned long long>(seed_base),
+                  policy.c_str(), program.c_str());
+    return cache_->getOrCompute(key, [&]() {
+        RunResult r = run(policy, {program}, seed_base);
+        fatal_if(!r.completed,
+                 "stand-alone run of %s did not complete",
+                 program.c_str());
+        return r.ipc[0];
+    });
 }
 
 MultiMetrics
 ExperimentRunner::runMulti(const std::string &policy,
                            const WorkloadSpec &workload)
 {
+    return runMulti(policy, workload, 1);
+}
+
+MultiMetrics
+ExperimentRunner::runMulti(const std::string &policy,
+                           const WorkloadSpec &workload,
+                           std::uint64_t seed_base)
+{
     std::vector<std::string> programs(workload.programs.begin(),
                                       workload.programs.end());
     MultiMetrics m;
-    m.run = run(policy, programs);
+    m.run = run(policy, programs, seed_base);
     for (const auto &p : programs)
         m.aloneIpc.push_back(aloneIpc(policy, p));
     m.slowdown = slowdowns(m.aloneIpc, m.run.ipc);

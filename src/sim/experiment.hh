@@ -10,8 +10,12 @@
 #ifndef PROFESS_SIM_EXPERIMENT_HH
 #define PROFESS_SIM_EXPERIMENT_HH
 
+#include <functional>
+#include <future>
 #include <map>
+#include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "sim/metrics.hh"
@@ -59,6 +63,66 @@ struct MultiMetrics
     double efficiency = 0.0; ///< requests / joule
 };
 
+/**
+ * Derive the RNG seed of one experiment job from its identity.
+ *
+ * The derivation is a pure hash — results are bit-identical no
+ * matter which thread runs the job or in which order jobs finish,
+ * which is what makes the parallel runner's `--jobs 1` vs
+ * `--jobs N` outputs comparable (tests/test_parallel_runner.cc).
+ *
+ * @param base Base seed (the experiment family's seed).
+ * @param policy Policy name.
+ * @param mix Workload-mix label (workload name, or program name
+ *        for stand-alone runs).
+ * @param sweep_point Index of the sweep point, 0 if none.
+ */
+std::uint64_t deriveSeed(std::uint64_t base, std::string_view policy,
+                         std::string_view mix,
+                         std::uint64_t sweep_point = 0);
+
+/**
+ * Fingerprint of every result-relevant field of a SystemConfig
+ * (plus the footprint scale), used to key shared caches so runs
+ * from different sweep points can never alias.
+ */
+std::uint64_t configFingerprint(const SystemConfig &cfg,
+                                double footprint_scale);
+
+/**
+ * Process-wide, thread-safe memoizing cache for stand-alone
+ * (IPC_SP) reference runs.
+ *
+ * Keys include the config fingerprint, policy, program and seed.
+ * Concurrent requests for the same key block on a shared future
+ * while the first requester computes, so each reference run
+ * happens exactly once per process regardless of how many
+ * experiment jobs (or threads) need it.
+ */
+class AloneIpcCache
+{
+  public:
+    /**
+     * @return the cached value for `key`, computing it via
+     *         `compute` (in the calling thread) on a miss.
+     */
+    double getOrCompute(const std::string &key,
+                        const std::function<double()> &compute);
+
+    /** Drop all entries. */
+    void clear();
+
+    /** @return number of cached reference runs. */
+    std::size_t size() const;
+
+    /** The process-wide instance shared by all runners. */
+    static AloneIpcCache &global();
+
+  private:
+    mutable std::mutex mu_;
+    std::map<std::string, std::shared_future<double>> map_;
+};
+
 /** The harness. */
 class ExperimentRunner
 {
@@ -67,11 +131,16 @@ class ExperimentRunner
      * @param base Base system configuration used for every run.
      * @param footprint_scale Scale of Table 9 footprints (matches
      *        the capacity scaling of `base`).
+     * @param cache Stand-alone reference-run cache to share;
+     *        defaults to the process-wide cache so every runner in
+     *        a binary reuses the same IPC_SP runs.
      */
     explicit ExperimentRunner(
         const SystemConfig &base,
-        double footprint_scale = trace::defaultScale)
-        : base_(base), footprintScale_(footprint_scale)
+        double footprint_scale = trace::defaultScale,
+        AloneIpcCache *cache = nullptr)
+        : base_(base), footprintScale_(footprint_scale),
+          cache_(cache ? cache : &AloneIpcCache::global())
     {
     }
 
@@ -91,17 +160,32 @@ class ExperimentRunner
 
     /**
      * Stand-alone IPC of a program under a policy on the base
-     * system (cached across calls).
+     * system.  Memoized in the shared AloneIpcCache (keyed by
+     * config fingerprint + policy + program + seed), so bench
+     * binaries and parallel jobs never recompute a reference run.
      */
     double aloneIpc(const std::string &policy,
-                    const std::string &program);
+                    const std::string &program,
+                    std::uint64_t seed_base = 1);
 
     /** Run a Table 10 workload and attach slowdown metrics. */
     MultiMetrics runMulti(const std::string &policy,
                           const WorkloadSpec &workload);
 
-    /** Clear the stand-alone IPC cache (after config changes). */
-    void clearCache() { aloneCache_.clear(); }
+    /**
+     * As above, with an explicit seed for the multi-program run
+     * (the stand-alone references keep their own fixed seeds so
+     * they stay shareable across mixes and sweep points).
+     */
+    MultiMetrics runMulti(const std::string &policy,
+                          const WorkloadSpec &workload,
+                          std::uint64_t seed_base);
+
+    /** Clear the shared stand-alone IPC cache. */
+    void clearCache() { cache_->clear(); }
+
+    /** @return the shared reference-run cache. */
+    AloneIpcCache &cache() { return *cache_; }
 
     /**
      * @return instruction quota from the PROFESS_INSTR environment
@@ -112,7 +196,7 @@ class ExperimentRunner
   private:
     SystemConfig base_;
     double footprintScale_;
-    std::map<std::string, double> aloneCache_;
+    AloneIpcCache *cache_;
 };
 
 /** Format a ratio as "+12.3%" / "-4.5%" (reporting helper). */

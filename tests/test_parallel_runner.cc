@@ -1,0 +1,306 @@
+/**
+ * @file
+ * Tests for the parallel experiment runner: the work-stealing
+ * thread pool, deterministic per-job seed derivation, the shared
+ * stand-alone reference cache, and — centrally — the differential
+ * guarantee that `--jobs 1` and `--jobs N` produce bit-identical
+ * RunResult/MultiMetrics under every policy.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+
+#include "common/thread_pool.hh"
+#include "sim/parallel_runner.hh"
+
+using namespace profess;
+using namespace profess::sim;
+
+namespace
+{
+
+SystemConfig
+quickQuad()
+{
+    SystemConfig c = SystemConfig::quadCore();
+    c.core.instrQuota = 120000;
+    c.core.warmupInstr = 60000;
+    return c;
+}
+
+SystemConfig
+quickSingle()
+{
+    SystemConfig c = SystemConfig::singleCore();
+    c.core.instrQuota = 150000;
+    c.core.warmupInstr = 50000;
+    return c;
+}
+
+/** Every field of a RunResult must match bit-for-bit. */
+void
+expectIdentical(const RunResult &a, const RunResult &b)
+{
+    EXPECT_EQ(a.policy, b.policy);
+    EXPECT_EQ(a.programs, b.programs);
+    ASSERT_EQ(a.ipc.size(), b.ipc.size());
+    for (std::size_t i = 0; i < a.ipc.size(); ++i)
+        EXPECT_EQ(a.ipc[i], b.ipc[i]) << "ipc[" << i << "]";
+    EXPECT_EQ(a.served, b.served);
+    EXPECT_EQ(a.servedM1, b.servedM1);
+    EXPECT_EQ(a.seconds, b.seconds);
+    EXPECT_EQ(a.joules, b.joules);
+    EXPECT_EQ(a.watts, b.watts);
+    EXPECT_EQ(a.servedTotal, b.servedTotal);
+    EXPECT_EQ(a.swaps, b.swaps);
+    EXPECT_EQ(a.stcHitRate, b.stcHitRate);
+    EXPECT_EQ(a.meanReadLatencyNs, b.meanReadLatencyNs);
+    EXPECT_EQ(a.m1Fraction, b.m1Fraction);
+    EXPECT_EQ(a.swapFraction, b.swapFraction);
+    EXPECT_EQ(a.rowHitRate, b.rowHitRate);
+    EXPECT_EQ(a.m2WriteFraction, b.m2WriteFraction);
+    EXPECT_EQ(a.completed, b.completed);
+}
+
+void
+expectIdentical(const MultiMetrics &a, const MultiMetrics &b)
+{
+    expectIdentical(a.run, b.run);
+    ASSERT_EQ(a.aloneIpc.size(), b.aloneIpc.size());
+    for (std::size_t i = 0; i < a.aloneIpc.size(); ++i)
+        EXPECT_EQ(a.aloneIpc[i], b.aloneIpc[i]);
+    ASSERT_EQ(a.slowdown.size(), b.slowdown.size());
+    for (std::size_t i = 0; i < a.slowdown.size(); ++i)
+        EXPECT_EQ(a.slowdown[i], b.slowdown[i]);
+    EXPECT_EQ(a.weightedSpeedup, b.weightedSpeedup);
+    EXPECT_EQ(a.maxSlowdown, b.maxSlowdown);
+    EXPECT_EQ(a.efficiency, b.efficiency);
+}
+
+} // anonymous namespace
+
+TEST(ThreadPool, RunsEveryTask)
+{
+    ThreadPool pool(4);
+    std::atomic<int> sum{0};
+    for (int i = 1; i <= 100; ++i)
+        pool.submit([&sum, i]() { sum += i; });
+    pool.wait();
+    EXPECT_EQ(sum.load(), 5050);
+}
+
+TEST(ThreadPool, NestedSubmission)
+{
+    // Tasks submitted from workers (stealing targets) must also be
+    // covered by wait().
+    ThreadPool pool(3);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 10; ++i) {
+        pool.submit([&pool, &count]() {
+            for (int j = 0; j < 5; ++j)
+                pool.submit([&count]() { ++count; });
+        });
+    }
+    pool.wait();
+    EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, ReusableAfterWait)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    pool.submit([&count]() { ++count; });
+    pool.wait();
+    pool.submit([&count]() { ++count; });
+    pool.submit([&count]() { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 3);
+}
+
+TEST(DeriveSeed, PureAndSensitiveToEveryInput)
+{
+    std::uint64_t s = deriveSeed(1, "pom", "w01", 0);
+    EXPECT_EQ(s, deriveSeed(1, "pom", "w01", 0));
+    EXPECT_NE(s, deriveSeed(2, "pom", "w01", 0));
+    EXPECT_NE(s, deriveSeed(1, "mdm", "w01", 0));
+    EXPECT_NE(s, deriveSeed(1, "pom", "w02", 0));
+    EXPECT_NE(s, deriveSeed(1, "pom", "w01", 1));
+    EXPECT_NE(s, 0u);
+}
+
+TEST(ConfigFingerprint, DistinguishesSweepPoints)
+{
+    SystemConfig a = SystemConfig::singleCore();
+    SystemConfig b = a;
+    EXPECT_EQ(configFingerprint(a, 1.0), configFingerprint(b, 1.0));
+    b.m2WriteScale = 2.0;
+    EXPECT_NE(configFingerprint(a, 1.0), configFingerprint(b, 1.0));
+    b = a;
+    b.stc.capacityBytes *= 2;
+    EXPECT_NE(configFingerprint(a, 1.0), configFingerprint(b, 1.0));
+    b = a;
+    b.core.instrQuota += 1;
+    EXPECT_NE(configFingerprint(a, 1.0), configFingerprint(b, 1.0));
+    EXPECT_NE(configFingerprint(a, 1.0),
+              configFingerprint(a, 0.5));
+}
+
+TEST(AloneCache, ComputesOnceAndDedupsConcurrentRequests)
+{
+    AloneIpcCache cache;
+    std::atomic<int> computes{0};
+    ThreadPool pool(8);
+    for (int i = 0; i < 32; ++i) {
+        pool.submit([&cache, &computes]() {
+            double v = cache.getOrCompute("k", [&computes]() {
+                ++computes;
+                return 42.0;
+            });
+            EXPECT_EQ(v, 42.0);
+        });
+    }
+    pool.wait();
+    EXPECT_EQ(computes.load(), 1);
+    EXPECT_EQ(cache.size(), 1u);
+    cache.clear();
+    EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(Jobs, EnvAndArgsParsing)
+{
+    ::setenv("PROFESS_JOBS", "5", 1);
+    EXPECT_EQ(ParallelRunner::jobsFromEnv(), 5u);
+    const char *argv1[] = {"bench", "--jobs", "3"};
+    EXPECT_EQ(ParallelRunner::jobsFromArgs(
+                  3, const_cast<char **>(argv1)),
+              3u);
+    const char *argv2[] = {"bench", "--jobs=7"};
+    EXPECT_EQ(ParallelRunner::jobsFromArgs(
+                  2, const_cast<char **>(argv2)),
+              7u);
+    const char *argv3[] = {"bench", "-j", "2"};
+    EXPECT_EQ(ParallelRunner::jobsFromArgs(
+                  3, const_cast<char **>(argv3)),
+              2u);
+    const char *argv4[] = {"bench"};
+    EXPECT_EQ(ParallelRunner::jobsFromArgs(
+                  1, const_cast<char **>(argv4)),
+              5u); // falls back to PROFESS_JOBS
+    ::unsetenv("PROFESS_JOBS");
+    EXPECT_GE(ParallelRunner::jobsFromEnv(), 1u);
+}
+
+/**
+ * The tentpole guarantee: a mixed batch (multi-program mixes under
+ * Pom, Mdm and ProFess, plus a single-program sweep job) produces
+ * bit-identical metrics serially (--jobs 1) and with 8 workers.
+ */
+TEST(Differential, SerialVsParallelBitIdentical)
+{
+    std::vector<RunJob> batch;
+    const WorkloadSpec *w01 = findWorkload("w01");
+    const WorkloadSpec *w05 = findWorkload("w05");
+    ASSERT_NE(w01, nullptr);
+    ASSERT_NE(w05, nullptr);
+    for (const char *policy : {"pom", "mdm", "profess"}) {
+        batch.push_back(multiJob(quickQuad(), policy, *w01));
+        batch.push_back(multiJob(quickQuad(), policy, *w05));
+    }
+    // A sweep-style single-program job with a distinct config.
+    SystemConfig sweep = quickSingle();
+    sweep.m2WriteScale = 2.0;
+    batch.push_back(singleJob(sweep, "mdm", "mcf", 2));
+
+    // Fresh caches per runner: the reference runs themselves must
+    // be reproduced identically, not shared via memoization.
+    AloneIpcCache serial_cache, parallel_cache;
+    ParallelRunner serial(1, &serial_cache);
+    serial.setProgress(false);
+    ParallelRunner parallel(8, &parallel_cache);
+    parallel.setProgress(false);
+
+    std::vector<MultiMetrics> a = serial.run(batch);
+    std::vector<MultiMetrics> b = parallel.run(batch);
+    ASSERT_EQ(a.size(), batch.size());
+    ASSERT_EQ(b.size(), batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        SCOPED_TRACE("job " + std::to_string(i) + " (" +
+                     batch[i].policy + "/" + batch[i].label + ")");
+        EXPECT_TRUE(a[i].run.completed);
+        expectIdentical(a[i], b[i]);
+    }
+
+    // And a second parallel execution is stable against schedule
+    // jitter (completion order differs run to run).
+    std::vector<MultiMetrics> c = parallel.run(batch);
+    for (std::size_t i = 0; i < batch.size(); ++i)
+        expectIdentical(b[i], c[i]);
+}
+
+TEST(Differential, JobSeedIndependentOfBatchPosition)
+{
+    // Reordering a batch must not change any job's result.
+    const WorkloadSpec *w02 = findWorkload("w02");
+    ASSERT_NE(w02, nullptr);
+    RunJob jm = multiJob(quickQuad(), "mdm", *w02);
+    RunJob jp = multiJob(quickQuad(), "pom", *w02);
+
+    AloneIpcCache c1, c2;
+    ParallelRunner r1(2, &c1), r2(2, &c2);
+    r1.setProgress(false);
+    r2.setProgress(false);
+    std::vector<MultiMetrics> ab = r1.run({jm, jp});
+    std::vector<MultiMetrics> ba = r2.run({jp, jm});
+    expectIdentical(ab[0], ba[1]);
+    expectIdentical(ab[1], ba[0]);
+}
+
+TEST(ParallelRunner, SharedCacheSkipsDuplicateReferenceRuns)
+{
+    // Two mixes sharing programs under one policy: the cache must
+    // end up with one entry per distinct (policy, program) pair.
+    const WorkloadSpec *w01 = findWorkload("w01");
+    ASSERT_NE(w01, nullptr);
+    AloneIpcCache cache;
+    ParallelRunner runner(4, &cache);
+    runner.setProgress(false);
+    std::vector<RunJob> batch = {
+        multiJob(quickQuad(), "pom", *w01),
+        multiJob(quickQuad(), "pom", *w01, /*sweep_point=*/1),
+    };
+    std::vector<MultiMetrics> r = runner.run(batch);
+    std::size_t distinct = 0;
+    {
+        std::vector<std::string> seen;
+        for (const char *p : w01->programs) {
+            std::string s(p);
+            bool dup = false;
+            for (const auto &q : seen)
+                dup = dup || q == s;
+            if (!dup) {
+                seen.push_back(s);
+                ++distinct;
+            }
+        }
+    }
+    EXPECT_EQ(cache.size(), distinct);
+    // Both sweep points see identical reference IPCs...
+    for (std::size_t i = 0; i < r[0].aloneIpc.size(); ++i)
+        EXPECT_EQ(r[0].aloneIpc[i], r[1].aloneIpc[i]);
+    // ...but distinct mix seeds (sweepPoint differs).
+    EXPECT_NE(deriveSeed(1, "pom", "w01", 0),
+              deriveSeed(1, "pom", "w01", 1));
+}
+
+TEST(ParallelRunner, ForEachCoversAllIndices)
+{
+    ParallelRunner runner(4);
+    runner.setProgress(false);
+    std::vector<int> hits(64, 0);
+    runner.forEach(hits.size(),
+                   [&hits](std::size_t i) { hits[i] = 1; });
+    for (std::size_t i = 0; i < hits.size(); ++i)
+        EXPECT_EQ(hits[i], 1) << i;
+}
