@@ -7,6 +7,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <array>
 #include <cstring>
 #include <memory>
 
@@ -110,6 +111,74 @@ BM_EventQueue(benchmark::State &state)
     }
 }
 BENCHMARK(BM_EventQueue);
+
+void
+BM_EventQueueSteadyState(benchmark::State &state)
+{
+    // Hold `range(0)` events pending and measure one pop + one
+    // schedule per iteration -- the calendar queue's steady state.
+    // Delays stay inside the wheel horizon (16384 ticks), matching
+    // the simulator's behaviour where only periodic policy events
+    // overflow.
+    const std::uint64_t pending =
+        static_cast<std::uint64_t>(state.range(0));
+    EventQueue eq;
+    std::uint64_t sink = 0;
+    std::uint64_t lcg = 12345;
+    auto delay = [&lcg]() {
+        lcg = lcg * 6364136223846793005ull +
+              1442695040888963407ull;
+        return static_cast<Cycles>(1 + (lcg >> 33) % 8000);
+    };
+    for (std::uint64_t i = 0; i < pending; ++i)
+        eq.scheduleIn(delay(), [&sink]() { ++sink; });
+    for (auto _ : state) {
+        eq.runOne();
+        eq.scheduleIn(delay(), [&sink]() { ++sink; });
+    }
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations()));
+}
+BENCHMARK(BM_EventQueueSteadyState)->Arg(1000)->Arg(100000);
+
+template <std::size_t Bytes>
+void
+eventQueueCaptureBench(benchmark::State &state)
+{
+    // Schedule+run 1000 events whose lambdas capture `Bytes` of
+    // payload plus a reference.  40 B of capture stays inside the
+    // InlineCallback buffer (48 B); 104 B spills to the heap path.
+    std::array<std::uint64_t, Bytes / 8> payload{};
+    payload[0] = 1;
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        EventQueue eq;
+        for (Tick t = 0; t < 1000; ++t) {
+            eq.schedule(t % 500, [payload, &sink]() {
+                sink += payload[0];
+            });
+        }
+        eq.run();
+    }
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 1000);
+}
+
+void
+BM_EventQueueCaptureInline(benchmark::State &state)
+{
+    eventQueueCaptureBench<32>(state); // +8 B ref = 40 B: inline
+}
+BENCHMARK(BM_EventQueueCaptureInline);
+
+void
+BM_EventQueueCaptureHeap(benchmark::State &state)
+{
+    eventQueueCaptureBench<96>(state); // +8 B ref = 104 B: heap
+}
+BENCHMARK(BM_EventQueueCaptureHeap);
 
 void
 BM_SystemThroughput(benchmark::State &state)

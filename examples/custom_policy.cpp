@@ -82,7 +82,7 @@ runWithPolicy(const sim::SystemConfig &cfg,
         hybrid::HybridController *ctrl;
         void
         issue(ProgramId p, Addr vaddr, bool w,
-              std::function<void()> done) override
+              InlineCallback done) override
         {
             std::uint64_t frame =
                 alloc->translate(p, vaddr / os::pageBytes);

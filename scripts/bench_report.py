@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Record and compare simulation-kernel benchmark results.
+
+Works on the JSON emitted by bench/kernel_hotpath (schema
+profess-kernel-bench-v1) and maintains BENCH_kernel.json, the
+kernel's perf trajectory: an append-only list of labelled runs so
+a change's before/after numbers stay recorded next to the code.
+
+Subcommands:
+  show FILE...             print a table of one or more result files
+  record --out TRAJ FILE...  append result files to a trajectory doc
+  compare BASE CAND [--max-regression X]
+                           compare per-run ns/access; exit 1 if any
+                           run of CAND is more than X times slower
+                           than BASE (CI perf-smoke gate)
+
+Only the standard library is used.
+"""
+
+import argparse
+import json
+import signal
+import sys
+
+# Die quietly when output is piped into head & co.
+if hasattr(signal, "SIGPIPE"):
+    signal.signal(signal.SIGPIPE, signal.SIG_DFL)
+
+TRAJ_SCHEMA = "profess-kernel-trajectory-v1"
+BENCH_SCHEMA = "profess-kernel-bench-v1"
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != BENCH_SCHEMA:
+        sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
+    return doc
+
+
+def fmt_table(doc):
+    lines = []
+    label = doc.get("label", "?")
+    mode = "quick" if doc.get("quick") else "full"
+    lines.append(
+        f"== {label} ({mode}, peak RSS "
+        f"{doc.get('peak_rss_kb', 0) / 1024:.1f} MiB)"
+    )
+    lines.append(
+        f"  {'run':<22} {'ns/access':>10} {'events/s':>12} "
+        f"{'accesses':>10} {'swaps':>8}"
+    )
+    for r in doc["runs"]:
+        lines.append(
+            f"  {r['name']:<22} {r['ns_per_access']:>10.1f} "
+            f"{r['events_per_sec']:>12.0f} {r['accesses']:>10} "
+            f"{r['swaps']:>8}"
+        )
+    t = doc["total"]
+    lines.append(
+        f"  {'TOTAL':<22} {t['ns_per_access']:>10.1f} "
+        f"{t['events_per_sec']:>12.0f} {t['accesses']:>10}"
+    )
+    return "\n".join(lines)
+
+
+def cmd_show(args):
+    for path in args.files:
+        print(fmt_table(load(path)))
+        print()
+    return 0
+
+
+def cmd_record(args):
+    try:
+        with open(args.out) as f:
+            traj = json.load(f)
+        if traj.get("schema") != TRAJ_SCHEMA:
+            sys.exit(f"{args.out}: not a trajectory document")
+    except FileNotFoundError:
+        traj = {"schema": TRAJ_SCHEMA, "entries": []}
+
+    for path in args.files:
+        doc = load(path)
+        traj["entries"].append(doc)
+        print(f"recorded {doc.get('label', '?')} from {path}")
+
+    with open(args.out, "w") as f:
+        json.dump(traj, f, indent=1)
+        f.write("\n")
+    print(f"{args.out}: {len(traj['entries'])} entries")
+    return 0
+
+
+def cmd_compare(args):
+    base = load(args.base)
+    cand = load(args.cand)
+    base_runs = {r["name"]: r for r in base["runs"]}
+    worst = 0.0
+    failed = False
+    print(
+        f"  {'run':<22} {'base':>10} {'cand':>10} {'ratio':>7}"
+        "   (ns/access)"
+    )
+    for r in cand["runs"]:
+        b = base_runs.get(r["name"])
+        if b is None:
+            print(f"  {r['name']:<22} (no baseline)")
+            continue
+        ratio = (
+            r["ns_per_access"] / b["ns_per_access"]
+            if b["ns_per_access"] > 0
+            else float("inf")
+        )
+        worst = max(worst, ratio)
+        flag = ""
+        if ratio > args.max_regression:
+            flag = "  << REGRESSION"
+            failed = True
+        print(
+            f"  {r['name']:<22} {b['ns_per_access']:>10.1f} "
+            f"{r['ns_per_access']:>10.1f} {ratio:>6.2f}x{flag}"
+        )
+    print(
+        f"worst ratio {worst:.2f}x "
+        f"(limit {args.max_regression:.2f}x)"
+    )
+    if failed:
+        print("FAIL: kernel perf-smoke regression", file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+def main():
+    p = argparse.ArgumentParser(description=__doc__)
+    sub = p.add_subparsers(dest="cmd", required=True)
+
+    s = sub.add_parser("show", help="print result tables")
+    s.add_argument("files", nargs="+")
+    s.set_defaults(fn=cmd_show)
+
+    s = sub.add_parser("record", help="append to a trajectory doc")
+    s.add_argument("--out", required=True)
+    s.add_argument("files", nargs="+")
+    s.set_defaults(fn=cmd_record)
+
+    s = sub.add_parser("compare", help="CI regression gate")
+    s.add_argument("base")
+    s.add_argument("cand")
+    s.add_argument("--max-regression", type=float, default=2.0)
+    s.set_defaults(fn=cmd_compare)
+
+    args = p.parse_args()
+    sys.exit(args.fn(args))
+
+
+if __name__ == "__main__":
+    main()

@@ -7,6 +7,12 @@
 #      cache).  A data race anywhere in the parallel experiment
 #      path fails this stage.
 #   2. Release, full test suite (the tier-1 gate).
+#   3. Perf smoke: bench/kernel_hotpath --quick against the
+#      checked-in baseline (bench/baselines/kernel_quick.json);
+#      fails on a >2x ns/access regression on any run of the
+#      matrix.  The loose factor absorbs machine-to-machine and
+#      CI-noise variance while still catching algorithmic
+#      regressions of the simulation kernel.
 #
 # Usage: scripts/ci.sh [jobs]   (default: nproc)
 
@@ -15,7 +21,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
 
-echo "==> [1/2] Debug + TSan: parallel runner tests"
+echo "==> [1/3] Debug + TSan: parallel runner tests"
 cmake -B build-tsan -S . \
     -DCMAKE_BUILD_TYPE=Debug \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -g -O1" \
@@ -25,9 +31,17 @@ TSAN_OPTIONS="halt_on_error=1" \
     ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
         -R 'ThreadPool|AloneCache|Differential|ParallelRunner'
 
-echo "==> [2/2] Release: full suite"
+echo "==> [2/3] Release: full suite"
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "==> [3/3] Kernel perf smoke"
+cmake --build build -j "$JOBS" --target kernel_hotpath
+./build/bench/kernel_hotpath --quick --label ci-smoke \
+    --out build/kernel_smoke.json
+python3 scripts/bench_report.py compare \
+    bench/baselines/kernel_quick.json build/kernel_smoke.json \
+    --max-regression 2.0
 
 echo "==> CI passed"

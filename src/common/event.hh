@@ -10,17 +10,41 @@
  * Events are arbitrary callables.  Two events scheduled for the same
  * tick execute in scheduling order (a monotone sequence number breaks
  * ties), which keeps simulations deterministic.
+ *
+ * Implementation: a calendar queue (bucketed timing wheel) with a
+ * sorted overflow tier, replacing the original binary heap.
+ *
+ *  - Callbacks are `InlineCallback` (small-buffer optimized): no
+ *    heap allocation for captures up to 48 bytes, which covers every
+ *    callback in the simulator's steady state.
+ *  - Events within `horizon` ticks of now go into one of `numBuckets`
+ *    unsorted per-bucket vectors; scheduling is an O(1) push_back.
+ *  - Events beyond the horizon go to a small binary-heap overflow
+ *    tier and migrate into the wheel once now advances to within a
+ *    horizon of them (periodic policy/fold events live here).
+ *  - Extraction scans the current bucket for the (when, seq) minimum
+ *    — buckets hold only a handful of events in practice — and the
+ *    position is cached between pops, so peeks are free.
+ *  - A per-bucket occupancy bitmap (one bit per bucket) lets the
+ *    minimum scan jump straight to the next populated bucket with a
+ *    count-trailing-zeros search instead of walking empty buckets.
+ *
+ * The ordering contract is exactly the old heap's: the globally
+ * minimal (when, seq) pair runs next, so same-tick events preserve
+ * FIFO scheduling order and results are bit-identical to the
+ * binary-heap kernel (tests/test_kernel_determinism.cc).
  */
 
 #ifndef PROFESS_COMMON_EVENT_HH
 #define PROFESS_COMMON_EVENT_HH
 
+#include <algorithm>
+#include <array>
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <utility>
 #include <vector>
 
+#include "common/inline_function.hh"
 #include "common/logging.hh"
 #include "common/types.hh"
 
@@ -31,7 +55,7 @@ namespace profess
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = InlineCallback;
 
     /** @return current simulation time in ticks. */
     Tick now() const { return now_; }
@@ -49,7 +73,22 @@ class EventQueue
                  "(when=%llu now=%llu)",
                  static_cast<unsigned long long>(when),
                  static_cast<unsigned long long>(now_));
-        heap_.push(Entry{when, seq_++, std::move(cb)});
+        std::uint64_t seq = seq_++;
+        if (when - now_ < horizon) {
+            std::uint32_t b = bucketOf(when);
+            buckets_[b].emplace_back(when, seq, std::move(cb));
+            markNonEmpty(b);
+            ++wheelCount_;
+        } else {
+            overflow_.emplace_back(when, seq, std::move(cb));
+            std::push_heap(overflow_.begin(), overflow_.end(),
+                           EntryLater{});
+        }
+        // The cached minimum stays valid unless the new event runs
+        // earlier (same-tick events have larger seq, so ties keep
+        // the cache).
+        if (peek_.found && when < peek_.when)
+            peek_.found = false;
     }
 
     /** Schedule a callback delay ticks from now. */
@@ -60,17 +99,35 @@ class EventQueue
     }
 
     /** @return true if no events are pending. */
-    bool empty() const { return heap_.empty(); }
+    bool
+    empty() const
+    {
+        return wheelCount_ == 0 && overflow_.empty();
+    }
 
     /** @return number of pending events. */
-    std::size_t size() const { return heap_.size(); }
+    std::size_t
+    size() const
+    {
+        return wheelCount_ + overflow_.size();
+    }
 
     /** @return tick of the next pending event (tickNever if none). */
     Tick
     nextTick() const
     {
-        return heap_.empty() ? tickNever : heap_.top().when;
+        if (peek_.found)
+            return peek_.when;
+        Peek p = scanMin();
+        return p.found ? p.when : tickNever;
     }
+
+    /** @return total events executed since construction. */
+    std::uint64_t executed() const { return executed_; }
+
+    /** @return events currently stored in the overflow tier
+     *  (beyond the wheel horizon; tests and diagnostics). */
+    std::size_t overflowSize() const { return overflow_.size(); }
 
     /**
      * Pop and execute the next event, advancing time.
@@ -80,30 +137,47 @@ class EventQueue
     bool
     runOne()
     {
-        if (heap_.empty())
-            return false;
-        // Move the entry out before popping so the callback can
-        // safely schedule further events.
-        Entry e = std::move(const_cast<Entry &>(heap_.top()));
-        heap_.pop();
+        if (!peek_.found) {
+            migrateOverflow();
+            peek_ = scanMin();
+            if (!peek_.found)
+                return false;
+        }
+        Entry e = extract(peek_);
+        peek_.found = false;
         now_ = e.when;
+        ++executed_;
         e.cb();
         return true;
+    }
+
+    /** Run events until the queue drains. @return events executed. */
+    std::uint64_t
+    run()
+    {
+        std::uint64_t n = 0;
+        while (runOne())
+            ++n;
+        return n;
     }
 
     /**
      * Run events until the queue drains or a stop predicate holds.
      *
-     * @param stop Checked after each event; empty means "never stop".
+     * The predicate is a template parameter so the per-event check
+     * inlines instead of going through a type-erased call.
+     *
+     * @param stop Callable checked after each event.
      * @return Number of events executed.
      */
+    template <typename Stop>
     std::uint64_t
-    run(const std::function<bool()> &stop = {})
+    run(Stop &&stop)
     {
         std::uint64_t n = 0;
         while (runOne()) {
             ++n;
-            if (stop && stop())
+            if (stop())
                 break;
         }
         return n;
@@ -114,9 +188,17 @@ class EventQueue
     runUntil(Tick limit)
     {
         std::uint64_t n = 0;
-        while (!heap_.empty() && heap_.top().when <= limit && runOne())
-            ++n;
-        if (now_ < limit && heap_.empty())
+        while (true) {
+            if (!peek_.found) {
+                migrateOverflow();
+                peek_ = scanMin();
+            }
+            if (!peek_.found || peek_.when > limit)
+                break;
+            if (runOne())
+                ++n;
+        }
+        if (now_ < limit && empty())
             now_ = limit;
         return n;
     }
@@ -128,17 +210,206 @@ class EventQueue
         std::uint64_t seq;
         Callback cb;
 
-        bool
-        operator>(const Entry &o) const
+        Entry(Tick w, std::uint64_t s, Callback c)
+            : when(w), seq(s), cb(std::move(c))
         {
-            return when != o.when ? when > o.when : seq > o.seq;
         }
     };
 
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<>>
-        heap_;
+    /** Heap comparator: true if a runs later than b. */
+    struct EntryLater
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            return a.when != b.when ? a.when > b.when
+                                    : a.seq > b.seq;
+        }
+    };
+
+    /** Location of the pending minimum. */
+    struct Peek
+    {
+        bool found = false;
+        bool fromOverflow = false;
+        std::uint32_t bucket = 0;
+        std::uint32_t index = 0;
+        Tick when = 0;
+        std::uint64_t seq = 0;
+    };
+
+    // Wheel geometry: 1024 buckets x 16 ticks = 16384-tick horizon.
+    // Memory-timing events land within a few hundred ticks of now;
+    // only periodic policy/statistics events overflow.
+    static constexpr unsigned bucketBits = 10;
+    static constexpr unsigned widthBits = 4;
+    static constexpr std::size_t numBuckets = std::size_t(1)
+                                              << bucketBits;
+    static constexpr Tick horizon = Tick(1)
+                                    << (bucketBits + widthBits);
+    static constexpr std::size_t numWords = numBuckets / 64;
+
+    static std::uint32_t
+    bucketOf(Tick when)
+    {
+        return static_cast<std::uint32_t>((when >> widthBits) &
+                                          (numBuckets - 1));
+    }
+
+    void
+    markNonEmpty(std::uint32_t bucket)
+    {
+        nonEmpty_[bucket >> 6] |= std::uint64_t(1) << (bucket & 63);
+    }
+
+    /**
+     * First populated bucket at circular offset >= 0 from `from`.
+     *
+     * @return bucket index, or numBuckets if the wheel is empty.
+     */
+    std::uint32_t
+    nextNonEmpty(std::uint32_t from) const
+    {
+        std::uint32_t w = from >> 6;
+        std::uint64_t word =
+            nonEmpty_[w] & (~std::uint64_t(0) << (from & 63));
+        for (std::size_t i = 0; i <= numWords; ++i) {
+            if (word != 0) {
+                return static_cast<std::uint32_t>(
+                    (w << 6) + __builtin_ctzll(word));
+            }
+            w = (w + 1) & (numWords - 1);
+            word = nonEmpty_[w];
+        }
+        return static_cast<std::uint32_t>(numBuckets);
+    }
+
+    /** Move overflow events now within the horizon into the wheel. */
+    void
+    migrateOverflow()
+    {
+        while (!overflow_.empty() &&
+               overflow_.front().when - now_ < horizon) {
+            std::pop_heap(overflow_.begin(), overflow_.end(),
+                          EntryLater{});
+            Entry e = std::move(overflow_.back());
+            overflow_.pop_back();
+            std::uint32_t b = bucketOf(e.when);
+            buckets_[b].push_back(std::move(e));
+            markNonEmpty(b);
+            ++wheelCount_;
+        }
+    }
+
+    /**
+     * Locate the globally minimal (when, seq) event.
+     *
+     * Scans wheel days starting at now's day; every wheel entry
+     * satisfies now <= when < now + horizon, so the first day with
+     * a matching entry holds the wheel minimum.  The overflow top
+     * is compared against the wheel candidate, so the result is the
+     * true global minimum even before migration.
+     */
+    /** Scan one bucket for the minimal entry of one day. */
+    void
+    scanBucket(std::uint32_t bucket, std::uint64_t day,
+               Peek &best) const
+    {
+        const std::vector<Entry> &b = buckets_[bucket];
+        for (std::size_t i = 0; i < b.size(); ++i) {
+            const Entry &e = b[i];
+            if ((e.when >> widthBits) != day)
+                continue; // an entry one revolution ahead
+            if (!best.found || e.when < best.when ||
+                (e.when == best.when && e.seq < best.seq)) {
+                best.found = true;
+                best.bucket = bucket;
+                best.index = static_cast<std::uint32_t>(i);
+                best.when = e.when;
+                best.seq = e.seq;
+            }
+        }
+    }
+
+    Peek
+    scanMin() const
+    {
+        Peek best;
+        if (wheelCount_ != 0) {
+            // Every wheel entry satisfies now <= when < now+horizon,
+            // so the first populated bucket circularly ahead of
+            // now's own bucket holds the wheel minimum -- except
+            // when now's bucket contains only entries one full
+            // revolution ahead (day base+numBuckets), in which case
+            // a second probe starting one bucket later finds it.
+            std::uint32_t sb = bucketOf(now_);
+            std::uint64_t base = now_ >> widthBits;
+            std::uint32_t b1 = nextNonEmpty(sb);
+            if (b1 != numBuckets) {
+                scanBucket(b1, base + ((b1 - sb) & (numBuckets - 1)),
+                           best);
+                if (!best.found) {
+                    // Only possible for b1 == sb: its entries belong
+                    // to the next revolution of the wheel.
+                    std::uint32_t b2 =
+                        nextNonEmpty((b1 + 1) & (numBuckets - 1));
+                    if (b2 != numBuckets) {
+                        std::uint64_t off =
+                            1 + ((b2 - sb - 1) & (numBuckets - 1));
+                        scanBucket(b2, base + off, best);
+                    }
+                }
+            }
+            panic_if(!best.found,
+                     "calendar wheel lost %llu events",
+                     static_cast<unsigned long long>(wheelCount_));
+        }
+        if (!overflow_.empty()) {
+            const Entry &t = overflow_.front();
+            if (!best.found || t.when < best.when ||
+                (t.when == best.when && t.seq < best.seq)) {
+                best.found = true;
+                best.fromOverflow = true;
+                best.when = t.when;
+                best.seq = t.seq;
+            }
+        }
+        return best;
+    }
+
+    /** Remove and return the event at a peeked location. */
+    Entry
+    extract(const Peek &p)
+    {
+        if (p.fromOverflow) {
+            std::pop_heap(overflow_.begin(), overflow_.end(),
+                          EntryLater{});
+            Entry e = std::move(overflow_.back());
+            overflow_.pop_back();
+            return e;
+        }
+        std::vector<Entry> &b = buckets_[p.bucket];
+        Entry e = std::move(b[p.index]);
+        if (p.index + 1 != b.size())
+            b[p.index] = std::move(b.back());
+        b.pop_back();
+        if (b.empty()) {
+            nonEmpty_[p.bucket >> 6] &=
+                ~(std::uint64_t(1) << (p.bucket & 63));
+        }
+        --wheelCount_;
+        return e;
+    }
+
+    std::vector<std::vector<Entry>> buckets_{numBuckets};
+    /** One occupancy bit per bucket (see nextNonEmpty). */
+    std::array<std::uint64_t, numWords> nonEmpty_{};
+    std::vector<Entry> overflow_; ///< min-heap by (when, seq)
+    std::size_t wheelCount_ = 0;
+    Peek peek_;
     Tick now_ = 0;
     std::uint64_t seq_ = 0;
+    std::uint64_t executed_ = 0;
 };
 
 } // namespace profess

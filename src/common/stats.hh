@@ -174,6 +174,20 @@ class StatSet
         counters_[name] += v;
     }
 
+    /**
+     * @return a stable reference to a named counter.
+     *
+     * Hot-path components resolve the reference once at construction
+     * and bump it with a plain add, skipping the per-access map
+     * lookup.  References stay valid across reset(), which zeroes
+     * counters in place instead of erasing them.
+     */
+    std::uint64_t &
+    counterRef(const std::string &name)
+    {
+        return counters_[name];
+    }
+
     /** Set a named value. */
     void set(const std::string &name, double v) { values_[name] = v; }
 
@@ -203,11 +217,18 @@ class StatSet
     /** @return all values, sorted by name. */
     const std::map<std::string, double> &values() const { return values_; }
 
-    /** Remove all statistics. */
+    /**
+     * Zero all statistics.
+     *
+     * Counters are zeroed in place (not erased) so references from
+     * counterRef() stay valid; a counter that was only ever zero
+     * reads the same either way.
+     */
     void
     reset()
     {
-        counters_.clear();
+        for (auto &kv : counters_)
+            kv.second = 0;
         values_.clear();
     }
 

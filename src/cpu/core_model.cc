@@ -1,5 +1,7 @@
 #include "cpu/core_model.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace profess
@@ -17,6 +19,7 @@ CoreModel::CoreModel(EventQueue &eq, const CoreParams &params,
                  params.maxOutstanding == 0 ||
                  params.coreCyclesPerTick == 0,
              "bad core parameters");
+    outstanding_.reserve(params.maxOutstanding);
 }
 
 void
@@ -43,7 +46,8 @@ CoreModel::ipcAtQuota() const
 void
 CoreModel::onReadComplete(std::uint64_t instr_idx)
 {
-    auto it = outstanding_.find(instr_idx);
+    auto it = std::find(outstanding_.begin(), outstanding_.end(),
+                        instr_idx);
     panic_if(it == outstanding_.end(),
              "completion for unknown read");
     outstanding_.erase(it);
@@ -82,7 +86,7 @@ CoreModel::advance()
         std::uint64_t issue_instr =
             instrCount_ + pending_.instGap + 1;
         if (!outstanding_.empty() &&
-            issue_instr > *outstanding_.begin() + params_.robSize) {
+            issue_instr > outstanding_.front() + params_.robSize) {
             waiting_ = true; // ROB full behind the oldest miss
             return;
         }
@@ -151,7 +155,7 @@ CoreModel::advance()
         } else {
             ++memReads_;
             std::uint64_t idx = instrCount_;
-            outstanding_.insert(idx);
+            outstanding_.push_back(idx);
             port_.issue(id_, a.vaddr, false, [this, idx]() {
                 onReadComplete(idx);
             });

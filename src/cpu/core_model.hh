@@ -19,9 +19,10 @@
 #define PROFESS_CPU_CORE_MODEL_HH
 
 #include <functional>
-#include <set>
+#include <vector>
 
 #include "common/event.hh"
+#include "common/inline_function.hh"
 #include "common/types.hh"
 #include "trace/access.hh"
 
@@ -46,7 +47,7 @@ class MemPort
      * @param done Completion callback (empty allowed for writes).
      */
     virtual void issue(ProgramId program, Addr vaddr, bool is_write,
-                       std::function<void()> done) = 0;
+                       InlineCallback done) = 0;
 };
 
 /** Core configuration. */
@@ -143,7 +144,11 @@ class CoreModel
     std::uint64_t instrCount_ = 0;
     std::uint64_t frontierCycles_ = 0; ///< core-cycle time frontier
     std::uint64_t instrDebt_ = 0; ///< instructions < one core cycle
-    std::multiset<std::uint64_t> outstanding_; ///< read instr indices
+    /** Outstanding read instruction indices.  Reads issue with
+     *  strictly increasing indices, so the vector stays sorted and
+     *  the oldest is front(); completion removes by linear scan
+     *  (bounded by maxOutstanding, 16 by default). */
+    std::vector<std::uint64_t> outstanding_;
 
     bool waiting_ = false;   ///< blocked on MSHR/ROB
     bool scheduled_ = false; ///< an advance event is pending

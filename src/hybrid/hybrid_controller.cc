@@ -16,7 +16,8 @@ HybridController::HybridController(EventQueue &eq,
                                    const os::BlockOwnerOracle &oracle)
     : eq_(eq), memory_(memory), layout_(layout), params_(params),
       policy_(policy), oracle_(oracle), st_(layout), stc_(params.stc),
-      perProgram_(params.numPrograms)
+      perProgram_(params.numPrograms),
+      ctrStFills_(stats_.counterRef("st_fills"))
 {
     fatal_if(layout.numChannels != memory.numChannels(),
              "layout expects %u channels, memory has %u",
@@ -27,21 +28,61 @@ HybridController::HybridController(EventQueue &eq,
     fatal_if(layout.m2BytesRequiredPerChannel() >
                  memory.config().m2BytesPerChannel,
              "M2 module too small for layout");
+    fatal_if((layout.blockBytes & (layout.blockBytes - 1)) != 0,
+             "block size must be a power of two");
+    fatal_if(layout.totalBlocks() >
+                 std::uint64_t{0xffffffff},
+             "original space too large for 32-bit block math");
     policy_.setHost(this);
+
+    groupDiv_ =
+        FastDivMod(static_cast<std::uint32_t>(layout.numGroups));
+    offsetMask_ = layout.blockBytes - 1;
+    blockShift_ = 0;
+    while ((std::uint64_t{1} << blockShift_) < layout.blockBytes)
+        ++blockShift_;
+    m2Stride_ = layout.groupsPerChannel() * layout.blockBytes;
+
+    groups_.resize(layout.numGroups);
+    for (std::uint64_t g = 0; g < layout.numGroups; ++g) {
+        GroupInfo &gi = groups_[g];
+        gi.m1Addr = layout.m1BlockAddr(g);
+        gi.stAddr = layout.stEntryAddr(g);
+        gi.chan = &memory_.channel(layout.channelOf(g));
+        gi.region =
+            static_cast<std::uint16_t>(layout.regionOfGroup(g));
+        gi.isPrivate = gi.region < params.numPrograms;
+    }
+}
+
+HybridController::~HybridController()
+{
+    // Queued channel requests hold RequestPtrs whose deleter
+    // recycles into reqPool_; drop them now, while the pool is
+    // alive, instead of when the channels destruct after it.
+    for (unsigned c = 0; c < memory_.numChannels(); ++c)
+        memory_.channel(c).dropQueued();
 }
 
 void
 HybridController::access(ProgramId program, Addr original_addr,
-                         bool is_write, std::function<void()> done)
+                         bool is_write, InlineCallback done)
 {
     panic_if(program < 0 || static_cast<unsigned>(program) >=
                                 params_.numPrograms,
              "bad program id %d", program);
-    std::uint64_t ob = layout_.blockOf(original_addr);
-    std::uint64_t g = layout_.groupOf(ob);
-    unsigned s = layout_.slotOf(ob);
-    PendingAccess pa{program, s, original_addr % layout_.blockBytes,
-                     is_write, std::move(done)};
+    std::uint32_t ob =
+        static_cast<std::uint32_t>(original_addr >> blockShift_);
+    std::uint64_t g = groupDiv_.mod(ob);
+    unsigned s = groupDiv_.div(ob);
+
+    PendingAccess *pa = paPool_.acquire();
+    pa->program = program;
+    pa->slot = s;
+    pa->offset = original_addr & offsetMask_;
+    pa->isWrite = is_write;
+    pa->done = std::move(done);
+    pa->next = nullptr;
 
     auto &ps = perProgram_[static_cast<unsigned>(program)];
     ++ps.served;
@@ -51,37 +92,39 @@ HybridController::access(ProgramId program, Addr original_addr,
         ++ps.reads;
 
     if (StcMeta *m = stc_.find(g))
-        serve(g, *m, std::move(pa));
+        serve(g, *m, pa);
     else
-        startFill(g, std::move(pa));
+        startFill(g, pa);
 }
 
 void
 HybridController::serve(std::uint64_t group, StcMeta &meta,
-                        PendingAccess pa)
+                        PendingAccess *pa)
 {
+    GroupInfo &gi = groups_[group];
     if (meta.swapping) {
-        swapWaiters_[group].push_back(std::move(pa));
+        gi.swapWaiters.append(pa);
         return;
     }
 
-    unsigned loc = st_.locationOf(group, pa.slot);
+    unsigned loc = st_.locationOf(group, pa->slot);
     bool from_m1 = loc == 0;
-    meta.bump(pa.slot,
-              pa.isWrite ? policy_.writeWeight() : 1u);
+    meta.bump(pa->slot,
+              pa->isWrite ? policy_.writeWeight() : 1u);
 
     if (from_m1) {
-        perProgram_[static_cast<unsigned>(pa.program)].servedFromM1++;
+        perProgram_[static_cast<unsigned>(pa->program)]
+            .servedFromM1++;
     }
 
     policy::AccessInfo info;
     info.group = group;
-    info.slot = pa.slot;
+    info.slot = pa->slot;
     info.m1Slot = st_.slotInM1(group);
-    info.region = layout_.regionOfGroup(group);
-    info.isWrite = pa.isWrite;
+    info.region = gi.region;
+    info.isWrite = pa->isWrite;
     info.fromM1 = from_m1;
-    info.accessor = pa.program;
+    info.accessor = pa->program;
     info.m1Owner =
         oracle_.ownerOfBlock(layout_.blockIndex(group, info.m1Slot));
     info.meta = &meta;
@@ -90,55 +133,55 @@ HybridController::serve(std::uint64_t group, StcMeta &meta,
     policy_.onServed(info);
 
     // Issue the 64-B device request.
-    auto req = std::make_unique<mem::Request>();
+    mem::RequestPtr req = mem::acquireRequest(reqPool_);
     req->module = from_m1 ? mem::Module::M1 : mem::Module::M2;
-    req->isWrite = pa.isWrite;
+    req->isWrite = pa->isWrite;
     req->cls = mem::ReqClass::Demand;
-    req->program = pa.program;
-    req->addr = (from_m1 ? layout_.m1BlockAddr(group)
-                         : layout_.m2BlockAddr(group, loc)) +
-                pa.offset;
-    if (pa.done) {
-        req->onComplete = [cb = std::move(pa.done)](mem::Request &) {
-            cb();
-        };
+    req->program = pa->program;
+    req->addr = gi.m1Addr +
+                (from_m1 ? 0 : (loc - 1) * m2Stride_) + pa->offset;
+    if (pa->done) {
+        req->onComplete =
+            [cb = std::move(pa->done)](mem::Request &) mutable {
+                cb();
+            };
     }
-    channelOf(group).push(std::move(req));
+    paPool_.release(pa);
+    gi.chan->push(std::move(req));
 
     // Migration consultation (not on the critical path, Sec. 3.2.3).
     if (!from_m1) {
         policy::Decision d = policy_.onM2Access(info);
         if (d == policy::Decision::Swap)
-            startSwap(group, pa.slot, info.m1Slot, meta);
+            startSwap(group, info.slot, info.m1Slot, meta);
     } else {
         policy_.onM1Access(info);
     }
 }
 
 void
-HybridController::startFill(std::uint64_t group, PendingAccess pa)
+HybridController::startFill(std::uint64_t group, PendingAccess *pa)
 {
-    auto it = fillPending_.find(group);
-    if (it != fillPending_.end()) {
-        it->second.push_back(std::move(pa));
+    GroupInfo &gi = groups_[group];
+    gi.fillWaiters.append(pa);
+    if (gi.fillInFlight)
         return;
-    }
-    fillPending_[group].push_back(std::move(pa));
-    stats_.inc("st_fills");
+    gi.fillInFlight = true;
+    ++ctrStFills_;
 
     if (!params_.modelStTraffic) {
         eq_.scheduleIn(0, [this, group]() { finishFill(group); });
         return;
     }
-    auto req = std::make_unique<mem::Request>();
+    mem::RequestPtr req = mem::acquireRequest(reqPool_);
     req->module = mem::Module::M1;
     req->isWrite = false;
     req->cls = mem::ReqClass::St;
-    req->addr = layout_.stEntryAddr(group);
+    req->addr = gi.stAddr;
     req->onComplete = [this, group](mem::Request &) {
         finishFill(group);
     };
-    channelOf(group).push(std::move(req));
+    gi.chan->push(std::move(req));
 }
 
 void
@@ -162,11 +205,11 @@ HybridController::finishFill(std::uint64_t group)
         if (ev.dirty) {
             stats_.inc("st_writebacks");
             if (params_.modelStTraffic) {
-                auto wb = std::make_unique<mem::Request>();
+                mem::RequestPtr wb = mem::acquireRequest(reqPool_);
                 wb->module = mem::Module::M1;
                 wb->isWrite = true;
                 wb->cls = mem::ReqClass::St;
-                wb->addr = layout_.stEntryAddr(ev.group);
+                wb->addr = groups_[ev.group].stAddr;
                 channelOf(ev.group).push(std::move(wb));
             }
         }
@@ -176,14 +219,16 @@ HybridController::finishFill(std::uint64_t group)
     m->lastFold = eq_.now();
     policy_.onStcInsert(group, *m);
 
-    auto it = fillPending_.find(group);
-    panic_if(it == fillPending_.end(), "fill without waiters");
-    std::vector<PendingAccess> waiters = std::move(it->second);
-    fillPending_.erase(it);
-    for (auto &pa : waiters) {
+    GroupInfo &gi = groups_[group];
+    PendingAccess *pa = gi.fillWaiters.take();
+    panic_if(pa == nullptr, "fill without waiters");
+    gi.fillInFlight = false;
+    while (pa != nullptr) {
+        PendingAccess *next = pa->next;
         // Re-fetch the meta pointer: serving earlier waiters can
         // trigger swaps but never evicts this just-inserted entry.
-        serve(group, *stc_.peek(group), std::move(pa));
+        serve(group, *stc_.peek(group), pa);
+        pa = next;
     }
 }
 
@@ -212,8 +257,9 @@ HybridController::startSwap(std::uint64_t group,
     unsigned loc = st_.locationOf(group, promote_slot);
     panic_if(loc == 0, "promoting a block already in M1");
 
-    channelOf(group).executeSwap(
-        layout_.m1BlockAddr(group), layout_.m2BlockAddr(group, loc),
+    GroupInfo &gi = groups_[group];
+    gi.chan->executeSwap(
+        gi.m1Addr, gi.m1Addr + (loc - 1) * m2Stride_,
         layout_.blockBytes,
         [this, group, promote_slot, m1_slot]() {
             finishSwap(group, promote_slot, m1_slot);
@@ -239,12 +285,11 @@ HybridController::finishSwap(std::uint64_t group,
     policy_.onSwapComplete(group, promote_slot, m1_slot, prom_owner,
                            dem_owner, privateRegion(group));
 
-    auto it = swapWaiters_.find(group);
-    if (it != swapWaiters_.end()) {
-        std::vector<PendingAccess> waiters = std::move(it->second);
-        swapWaiters_.erase(it);
-        for (auto &pa : waiters)
-            serve(group, *stc_.peek(group), std::move(pa));
+    PendingAccess *pa = groups_[group].swapWaiters.take();
+    while (pa != nullptr) {
+        PendingAccess *next = pa->next;
+        serve(group, *stc_.peek(group), pa);
+        pa = next;
     }
 }
 

@@ -15,16 +15,25 @@
  *
  * The controller is policy-agnostic: PoM, MemPod, MDM, ProFess, etc.
  * plug in through policy::MigrationPolicy.
+ *
+ * Hot-path organization: the per-access path performs zero heap
+ * allocations in the steady state.  PendingAccess nodes and channel
+ * requests are recycled through ObjectPools; accesses waiting on a
+ * fill or swap sit on intrusive per-group FIFO lists inside a flat
+ * GroupInfo table, which also caches every layout_-derived value
+ * (region, channel, private bit, device base addresses) so the
+ * address math is shifts, masks and one multiply-shift division.
  */
 
 #ifndef PROFESS_HYBRID_HYBRID_CONTROLLER_HH
 #define PROFESS_HYBRID_HYBRID_CONTROLLER_HH
 
-#include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "common/event.hh"
+#include "common/fastdiv.hh"
+#include "common/inline_function.hh"
+#include "common/pool.hh"
 #include "common/stats.hh"
 #include "hybrid/layout.hh"
 #include "hybrid/st.hh"
@@ -75,6 +84,15 @@ class HybridController : public policy::SwapHost
                      const os::BlockOwnerOracle &oracle);
 
     /**
+     * Drops any requests still queued in the channels: they were
+     * acquired from this controller's pool, and the controller (a
+     * channel user, constructed after the memory system) is always
+     * destroyed first, so they must be recycled while the pool is
+     * alive.
+     */
+    ~HybridController() override;
+
+    /**
      * Serve one 64-B demand access.
      *
      * @param program Accessing program.
@@ -83,7 +101,7 @@ class HybridController : public policy::SwapHost
      * @param done Completion callback (may be empty for writes).
      */
     void access(ProgramId program, Addr original_addr, bool is_write,
-                std::function<void()> done);
+                InlineCallback done);
 
     /** Begin periodic policy callbacks (MemPod intervals). */
     void startPeriodic();
@@ -127,18 +145,66 @@ class HybridController : public policy::SwapHost
     void resetStats();
 
   private:
-    /** One access waiting for translation or a swap. */
+    /** One access waiting for translation or a swap (pooled). */
     struct PendingAccess
     {
         ProgramId program;
         unsigned slot;
         std::uint64_t offset; ///< byte offset within the block
         bool isWrite;
-        std::function<void()> done;
+        InlineCallback done;
+        PendingAccess *next = nullptr; ///< intrusive FIFO link
     };
 
-    void serve(std::uint64_t group, StcMeta &meta, PendingAccess pa);
-    void startFill(std::uint64_t group, PendingAccess pa);
+    /** Intrusive FIFO of pooled PendingAccess nodes. */
+    struct WaitList
+    {
+        PendingAccess *head = nullptr;
+        PendingAccess *tail = nullptr;
+
+        bool empty() const { return head == nullptr; }
+
+        void
+        append(PendingAccess *pa)
+        {
+            pa->next = nullptr;
+            if (tail != nullptr)
+                tail->next = pa;
+            else
+                head = pa;
+            tail = pa;
+        }
+
+        /** Detach and return the whole chain. */
+        PendingAccess *
+        take()
+        {
+            PendingAccess *h = head;
+            head = tail = nullptr;
+            return h;
+        }
+    };
+
+    /**
+     * Per-group hot-path state: every layout_-derived value the
+     * access path needs, precomputed, plus the group's wait lists.
+     * (The M2 device address of location L is m1Addr + L *
+     * m2Stride_, so only the M1 base is stored per group.)
+     */
+    struct GroupInfo
+    {
+        Addr m1Addr = 0;          ///< layout_.m1BlockAddr(group)
+        Addr stAddr = 0;          ///< layout_.stEntryAddr(group)
+        mem::Channel *chan = nullptr;
+        std::uint16_t region = 0; ///< layout_.regionOfGroup(group)
+        bool isPrivate = false;   ///< region < numPrograms
+        bool fillInFlight = false;
+        WaitList fillWaiters;
+        WaitList swapWaiters;
+    };
+
+    void serve(std::uint64_t group, StcMeta &meta, PendingAccess *pa);
+    void startFill(std::uint64_t group, PendingAccess *pa);
     void finishFill(std::uint64_t group);
     void startSwap(std::uint64_t group, unsigned promote_slot,
                    unsigned m1_slot, StcMeta &meta);
@@ -151,13 +217,13 @@ class HybridController : public policy::SwapHost
     bool
     privateRegion(std::uint64_t group) const
     {
-        return layout_.regionOfGroup(group) < params_.numPrograms;
+        return groups_[group].isPrivate;
     }
 
     mem::Channel &
     channelOf(std::uint64_t group)
     {
-        return memory_.channel(layout_.channelOf(group));
+        return *groups_[group].chan;
     }
 
     EventQueue &eq_;
@@ -170,16 +236,22 @@ class HybridController : public policy::SwapHost
     SwapGroupTable st_;
     StCache stc_;
 
-    std::unordered_map<std::uint64_t, std::vector<PendingAccess>>
-        fillPending_;
-    std::unordered_map<std::uint64_t, std::vector<PendingAccess>>
-        swapWaiters_;
+    std::vector<GroupInfo> groups_;
+    ObjectPool<PendingAccess> paPool_;
+    ObjectPool<mem::Request> reqPool_;
+
+    // Precomputed address math (see GroupInfo).
+    FastDivMod groupDiv_;          ///< divides by numGroups
+    unsigned blockShift_ = 0;      ///< log2(blockBytes)
+    std::uint64_t offsetMask_ = 0; ///< blockBytes - 1
+    Addr m2Stride_ = 0; ///< m2BlockAddr(g, L) - m1BlockAddr(g) per L
 
     std::vector<ProgramStats> perProgram_;
     std::uint64_t swaps_ = 0;
     bool periodicEnabled_ = false;
     bool foldEnabled_ = false;
     StatSet stats_;
+    std::uint64_t &ctrStFills_;
 };
 
 } // namespace hybrid

@@ -14,6 +14,8 @@ StCache::StCache(const Params &p) : ways_(p.ways)
     std::uint64_t entries = p.capacityBytes / p.entryBytes;
     fatal_if(entries < p.ways, "STC too small for %u ways", p.ways);
     numSets_ = entries / p.ways;
+    if ((numSets_ & (numSets_ - 1)) == 0)
+        setMask_ = numSets_ - 1;
     store_.resize(numSets_ * ways_);
 }
 

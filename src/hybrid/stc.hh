@@ -188,10 +188,15 @@ class StCache
 
     std::uint64_t setOf(std::uint64_t group) const
     {
-        return group % numSets_;
+        // Set counts are powers of two in every configuration; the
+        // mask form keeps the per-access lookup divide-free, with a
+        // modulo fallback for odd test geometries.
+        return setMask_ != 0 ? (group & setMask_)
+                             : group % numSets_;
     }
 
     std::uint64_t numSets_;
+    std::uint64_t setMask_ = 0; ///< numSets_-1 when a power of two
     unsigned ways_;
     std::vector<Way> store_; ///< numSets_ x ways_, row-major
     std::uint64_t useClock_ = 0;

@@ -13,19 +13,35 @@ Channel::Channel(EventQueue &eq, const TimingParams &m1t,
                  const ModuleGeometry &m2g, const EnergyParams &ep,
                  const ChannelConfig &cfg)
     : eq_(eq), m1t_(m1t), m2t_(m2t), m1g_(m1g), m2g_(m2g), cfg_(cfg),
-      banks1_(m1g.banks), banks2_(m2g.banks), energy_(ep)
+      banks1_(m1g.banks), banks2_(m2g.banks), energy_(ep),
+      ctrDemandReads_(stats_.counterRef("demand_reads")),
+      ctrDemandWrites_(stats_.counterRef("demand_writes")),
+      ctrStReads_(stats_.counterRef("st_reads")),
+      ctrStWrites_(stats_.counterRef("st_writes")),
+      ctrRowHits_(stats_.counterRef("row_hits")),
+      ctrRowMisses_(stats_.counterRef("row_misses")),
+      ctrM1Activates_(stats_.counterRef("m1_activates")),
+      ctrM2Activates_(stats_.counterRef("m2_activates")),
+      ctrM1Accesses_(stats_.counterRef("m1_accesses")),
+      ctrM2Accesses_(stats_.counterRef("m2_accesses")),
+      ctrBusBusyCycles_(stats_.counterRef("bus_busy_cycles"))
 {
     nextRefresh_ = m1t_.tREFI == 0 ? tickNever : m1t_.tREFI;
+    readQ_.reserve(64);
+    writeQ_.reserve(64);
 }
 
 void
 Channel::push(RequestPtr req)
 {
     req->enqueueTick = eq_.now();
-    const char *cls = req->cls == ReqClass::Demand
-        ? (req->isWrite ? "demand_writes" : "demand_reads")
-        : (req->isWrite ? "st_writes" : "st_reads");
-    stats_.inc(cls);
+    DecodedAddr d = geometry(req->module).decode(req->addr);
+    req->bank = d.bank;
+    req->row = d.row;
+    if (req->cls == ReqClass::Demand)
+        ++(req->isWrite ? ctrDemandWrites_ : ctrDemandReads_);
+    else
+        ++(req->isWrite ? ctrStWrites_ : ctrStReads_);
     if (req->isWrite)
         writeQ_.push_back(std::move(req));
     else
@@ -36,7 +52,7 @@ Channel::push(RequestPtr req)
 void
 Channel::executeSwap(Addr m1_addr, Addr m2_addr,
                      std::uint64_t block_bytes,
-                     std::function<void()> done, bool slow)
+                     InlineCallback done, bool slow)
 {
     swapQ_.push_back(PendingSwap{m1_addr, m2_addr, block_bytes,
                                  std::move(done), slow});
@@ -92,18 +108,15 @@ Channel::requestWake(Tick when)
 }
 
 std::size_t
-Channel::pickNext(const std::deque<RequestPtr> &q) const
+Channel::pickNext(const std::vector<RequestPtr> &q) const
 {
     // FR-FCFS-Cap: oldest row hit whose row has not exhausted the
     // consecutive-hit cap; otherwise the oldest request.
     for (std::size_t i = 0; i < q.size(); ++i) {
         const Request &r = *q[i];
-        const ModuleGeometry &g =
-            r.module == Module::M1 ? m1g_ : m2g_;
-        DecodedAddr d = g.decode(r.addr);
-        const Bank &bk = r.module == Module::M1 ? banks1_[d.bank]
-                                                : banks2_[d.bank];
-        if (bk.open && bk.row == d.row &&
+        const Bank &bk = r.module == Module::M1 ? banks1_[r.bank]
+                                                : banks2_[r.bank];
+        if (bk.open && bk.row == r.row &&
             bk.consecHits < cfg_.rowHitCap) {
             return i;
         }
@@ -117,15 +130,14 @@ Channel::commit(RequestPtr req)
     Tick now = eq_.now();
     bool m2 = req->module == Module::M2;
     const TimingParams &t = timing(req->module);
-    DecodedAddr d = geometry(req->module).decode(req->addr);
-    Bank &bk = bank(req->module, d.bank);
+    Bank &bk = bank(req->module, req->bank);
 
-    bool hit = bk.open && bk.row == d.row;
+    bool hit = bk.open && bk.row == req->row;
     Tick col_ready;
     if (hit) {
         col_ready = std::max(now, bk.readyCol);
         ++bk.consecHits;
-        stats_.inc("row_hits");
+        ++ctrRowHits_;
     } else {
         Tick act_start;
         if (bk.open) {
@@ -137,14 +149,14 @@ Channel::commit(RequestPtr req)
             act_start = std::max(now, bk.readyAct);
         }
         bk.open = true;
-        bk.row = d.row;
+        bk.row = req->row;
         bk.lastAct = act_start;
         bk.readyAct = act_start + t.tRC; // activate-to-activate
         bk.consecHits = 1;
         col_ready = act_start + t.tRCD;
         energy_.addActivate(m2);
-        stats_.inc(m2 ? "m2_activates" : "m1_activates");
-        stats_.inc("row_misses");
+        ++(m2 ? ctrM2Activates_ : ctrM1Activates_);
+        ++ctrRowMisses_;
     }
 
     Cycles lat = req->isWrite ? t.tWL : t.tCL;
@@ -172,16 +184,17 @@ Channel::commit(RequestPtr req)
     }
     busFreeAt_ = data_end;
     lastBusWrite_ = req->isWrite;
-    stats_.inc("bus_busy_cycles", t.tBurst);
+    ctrBusBusyCycles_ += t.tBurst;
 
     if (req->isWrite)
         energy_.addWrite(m2);
     else
         energy_.addRead(m2);
-    stats_.inc(m2 ? "m2_accesses" : "m1_accesses");
+    ++(m2 ? ctrM2Accesses_ : ctrM1Accesses_);
 
     Request *raw = req.release();
     eq_.schedule(data_end, [this, raw]() {
+        RequestPtr owner(raw); // recycled (or freed) on return
         raw->completeTick = eq_.now();
         if (!raw->isWrite && raw->cls == ReqClass::Demand) {
             readLat_.add(static_cast<double>(raw->completeTick -
@@ -191,7 +204,6 @@ Channel::commit(RequestPtr req)
         --inflight_;
         if (raw->onComplete)
             raw->onComplete(*raw);
-        delete raw;
         trySchedule();
     });
 }
@@ -247,7 +259,10 @@ Channel::maybeStartSwap()
     b1.row = d1.row;
     b2.row = d2.row;
 
-    eq_.schedule(end, [this, done = std::move(s.done)]() {
+    activeSwapDones_.push_back(std::move(s.done));
+    eq_.schedule(end, [this]() {
+        InlineCallback done = std::move(activeSwapDones_.front());
+        activeSwapDones_.pop_front();
         if (done)
             done();
         trySchedule();

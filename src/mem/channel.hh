@@ -22,10 +22,11 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
+#include <memory>
 #include <vector>
 
 #include "common/event.hh"
+#include "common/inline_function.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "mem/energy.hh"
@@ -69,6 +70,14 @@ class Channel
     /** Enqueue a request; completion reported via req->onComplete. */
     void push(RequestPtr req);
 
+    /** Convenience overload for plain heap-allocated requests
+     *  (tests and microbenchmarks); ownership transfers as above. */
+    void
+    push(std::unique_ptr<Request> req)
+    {
+        push(RequestPtr(req.release()));
+    }
+
     /**
      * Execute a block swap between an M1 location and an M2 location.
      *
@@ -84,7 +93,7 @@ class Channel
      */
     void executeSwap(Addr m1_addr, Addr m2_addr,
                      std::uint64_t block_bytes,
-                     std::function<void()> done,
+                     InlineCallback done,
                      bool slow = false);
 
     /** @return true while a swap occupies the channel. */
@@ -119,6 +128,21 @@ class Channel
      */
     void resetStats();
 
+    /**
+     * Drop all queued (not yet committed) requests and swaps
+     * without executing them.  Called by request producers on
+     * teardown so pooled requests return to their pool while it is
+     * still alive; the channel itself stays usable.
+     */
+    void
+    dropQueued()
+    {
+        readQ_.clear();
+        writeQ_.clear();
+        swapQ_.clear();
+        activeSwapDones_.clear();
+    }
+
   private:
     /** Per-bank device state. */
     struct Bank
@@ -138,7 +162,7 @@ class Channel
         Addr m1Addr;
         Addr m2Addr;
         std::uint64_t blockBytes;
-        std::function<void()> done;
+        InlineCallback done;
         bool slow;
     };
 
@@ -165,7 +189,7 @@ class Channel
     void trySchedule();
 
     /** Pick the next request index in q per FR-FCFS-Cap, or npos. */
-    std::size_t pickNext(const std::deque<RequestPtr> &q) const;
+    std::size_t pickNext(const std::vector<RequestPtr> &q) const;
 
     /** Commit one request: update state, schedule completion. */
     void commit(RequestPtr req);
@@ -179,7 +203,7 @@ class Channel
     ChannelConfig cfg_;
 
     std::vector<Bank> banks1_, banks2_;
-    std::deque<RequestPtr> readQ_, writeQ_;
+    std::vector<RequestPtr> readQ_, writeQ_;
     std::deque<PendingSwap> swapQ_;
 
     Tick busFreeAt_ = 0;
@@ -190,9 +214,31 @@ class Channel
     Tick nextRefresh_ = 0;
     Tick wakeAt_ = tickNever;
 
+    /** Completion callbacks of started swaps, FIFO.  Swaps finish
+     *  in start order (ends strictly increase), so the completion
+     *  event captures only `this` and pops the front.  Usually one
+     *  entry; two when a successor starts at the same tick an older
+     *  event fires. */
+    std::deque<InlineCallback> activeSwapDones_;
+
     StatSet stats_;
     RunningStat readLat_;
     EnergyAccount energy_;
+
+    // Hot-path counters resolved once (StatSet::counterRef); refs
+    // stay valid across resetStats() because reset() zeroes in
+    // place.
+    std::uint64_t &ctrDemandReads_;
+    std::uint64_t &ctrDemandWrites_;
+    std::uint64_t &ctrStReads_;
+    std::uint64_t &ctrStWrites_;
+    std::uint64_t &ctrRowHits_;
+    std::uint64_t &ctrRowMisses_;
+    std::uint64_t &ctrM1Activates_;
+    std::uint64_t &ctrM2Activates_;
+    std::uint64_t &ctrM1Accesses_;
+    std::uint64_t &ctrM2Accesses_;
+    std::uint64_t &ctrBusBusyCycles_;
 };
 
 } // namespace mem

@@ -6,14 +6,20 @@
  * Addresses here are *device* byte addresses within one module (M1 or
  * M2) of one channel; the hybrid controller performs all original ->
  * actual translation before a request reaches a channel.
+ *
+ * Requests are recycled through an ObjectPool in the steady state:
+ * RequestPtr's deleter returns pooled nodes to their pool instead of
+ * freeing them, and plain heap-allocated requests (tests, simple
+ * callers) keep working because a null pool falls back to delete.
  */
 
 #ifndef PROFESS_MEM_REQUEST_HH
 #define PROFESS_MEM_REQUEST_HH
 
-#include <functional>
 #include <memory>
 
+#include "common/inline_function.hh"
+#include "common/pool.hh"
 #include "common/types.hh"
 
 namespace profess
@@ -44,11 +50,57 @@ struct Request
     Tick enqueueTick = 0;      ///< set by the channel on push
     Tick completeTick = 0;     ///< set by the channel on completion
 
+    /** Decoded device coordinates, cached by the channel on push so
+     *  the FR-FCFS scan never re-decodes queued requests. */
+    std::uint32_t bank = 0;
+    std::uint64_t row = 0;
+
+    /** Owning pool, or nullptr for a heap-allocated request.
+     *  The 64-byte buffer fits a moved InlineCallback capture, so
+     *  completion wrappers stay allocation-free. */
+    ObjectPool<Request> *pool = nullptr;
+
     /** Invoked at data completion (reads and writes). */
-    std::function<void(Request &)> onComplete;
+    InlineFunction<void(Request &), 64> onComplete;
 };
 
-using RequestPtr = std::unique_ptr<Request>;
+/** Returns a request to its pool, or frees an unpooled one. */
+struct RequestDeleter
+{
+    void
+    operator()(Request *r) const
+    {
+        if (r == nullptr)
+            return;
+        if (r->pool != nullptr) {
+            r->onComplete = nullptr;
+            r->pool->release(r);
+        } else {
+            delete r;
+        }
+    }
+};
+
+using RequestPtr = std::unique_ptr<Request, RequestDeleter>;
+
+/** Acquire a recycled request from a pool, reset for reuse. */
+inline RequestPtr
+acquireRequest(ObjectPool<Request> &pool)
+{
+    Request *r = pool.acquire();
+    r->module = Module::M1;
+    r->isWrite = false;
+    r->cls = ReqClass::Demand;
+    r->addr = 0;
+    r->program = invalidProgram;
+    r->enqueueTick = 0;
+    r->completeTick = 0;
+    r->bank = 0;
+    r->row = 0;
+    r->pool = &pool;
+    r->onComplete = nullptr;
+    return RequestPtr(r);
+}
 
 } // namespace mem
 

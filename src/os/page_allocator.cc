@@ -16,7 +16,9 @@ PageAllocator::PageAllocator(std::uint64_t num_groups,
                              unsigned num_programs,
                              std::uint64_t seed)
     : numGroups_(num_groups), numRegions_(num_regions),
-      numPrograms_(num_programs), rng_(seed, 0xa02bdbf7bb3c0a7ull)
+      numPrograms_(num_programs), rng_(seed, 0xa02bdbf7bb3c0a7ull),
+      ctrTranslations_(stats_.counterRef("translations")),
+      ctrCacheHits_(stats_.counterRef("cache_hits"))
 {
     fatal_if(num_groups == 0 || num_groups % 2 != 0,
              "number of swap groups must be even");
@@ -35,6 +37,12 @@ PageAllocator::PageAllocator(std::uint64_t num_groups,
 
     owner_.assign(numFrames_, invalidProgram);
     pageTables_.resize(num_programs);
+    lastXlate_.resize(num_programs);
+    // A program can map at most the configured footprint (all
+    // frames); pre-sizing the hash tables for an even share avoids
+    // rehash-and-move cycles during first-touch warm-up.
+    for (auto &t : pageTables_)
+        t.reserve(numFrames_ / num_programs + 16);
     cursor_.resize(num_programs);
     for (unsigned p = 0; p < num_programs; ++p)
         cursor_[p] = rng_.below(num_regions);
@@ -109,13 +117,25 @@ PageAllocator::translate(ProgramId program, std::uint64_t vpage)
     panic_if(program < 0 ||
                  static_cast<unsigned>(program) >= numPrograms_,
              "bad program id %d", program);
+    ++ctrTranslations_;
+    LastXlate &last = lastXlate_[static_cast<unsigned>(program)];
+    if (last.valid && last.vpage == vpage) {
+        ++ctrCacheHits_;
+        return last.frame;
+    }
     auto &table = pageTables_[static_cast<unsigned>(program)];
+    std::uint64_t frame;
     auto it = table.find(vpage);
-    if (it != table.end())
-        return it->second;
-    std::uint64_t frame = pickFrame(program);
-    owner_[frame] = program;
-    table.emplace(vpage, frame);
+    if (it != table.end()) {
+        frame = it->second;
+    } else {
+        frame = pickFrame(program);
+        owner_[frame] = program;
+        table.emplace(vpage, frame);
+    }
+    last.vpage = vpage;
+    last.frame = frame;
+    last.valid = true;
     return frame;
 }
 
@@ -145,6 +165,7 @@ PageAllocator::releaseProgram(ProgramId p)
         freeLists_[regionOfFrame(kv.second)].push_back(kv.second);
     }
     table.clear();
+    lastXlate_[static_cast<unsigned>(p)] = LastXlate{};
 }
 
 ProgramId

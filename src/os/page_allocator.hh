@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/rng.hh"
+#include "common/stats.hh"
 #include "common/types.hh"
 
 namespace profess
@@ -103,10 +104,33 @@ class PageAllocator : public BlockOwnerOracle
     /** Release all frames of a program (program termination). */
     void releaseProgram(ProgramId p);
 
+    /** Translation counters: "translations", "cache_hits". */
+    const StatSet &stats() const { return stats_; }
+
+    /** @return last-translation-cache hit rate in [0,1]
+     *  (1 if no translations yet). */
+    double
+    cacheHitRate() const
+    {
+        return ctrTranslations_ == 0
+                   ? 1.0
+                   : static_cast<double>(ctrCacheHits_) /
+                         static_cast<double>(ctrTranslations_);
+    }
+
     // BlockOwnerOracle
     ProgramId ownerOfBlock(std::uint64_t original_block) const override;
 
   private:
+    /** One-entry last-translation cache (demand streams are
+     *  page-local, so most accesses re-translate the same page). */
+    struct LastXlate
+    {
+        std::uint64_t vpage = ~std::uint64_t{0};
+        std::uint64_t frame = 0;
+        bool valid = false;
+    };
+
     std::uint64_t pickFrame(ProgramId program);
 
     std::uint64_t numGroups_;
@@ -124,6 +148,12 @@ class PageAllocator : public BlockOwnerOracle
     /** Per-program page table: vpage -> frame. */
     std::vector<std::unordered_map<std::uint64_t, std::uint64_t>>
         pageTables_;
+    /** Per-program last-translation cache. */
+    std::vector<LastXlate> lastXlate_;
+
+    StatSet stats_;
+    std::uint64_t &ctrTranslations_;
+    std::uint64_t &ctrCacheHits_;
 };
 
 } // namespace os

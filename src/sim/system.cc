@@ -191,7 +191,7 @@ System::~System() = default;
 
 void
 System::issue(ProgramId program, Addr vaddr, bool is_write,
-              std::function<void()> done)
+              InlineCallback done)
 {
     std::uint64_t vpage = vaddr / os::pageBytes;
     std::uint64_t frame = allocator_->translate(program, vpage);

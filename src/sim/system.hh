@@ -164,7 +164,7 @@ class System : public cpu::MemPort
 
     // cpu::MemPort
     void issue(ProgramId program, Addr vaddr, bool is_write,
-               std::function<void()> done) override;
+               InlineCallback done) override;
 
   private:
     SystemConfig cfg_;

@@ -70,7 +70,7 @@ class FixedLatencyPort : public MemPort
 
     void
     issue(ProgramId, Addr, bool is_write,
-          std::function<void()> done) override
+          InlineCallback done) override
     {
         if (is_write) {
             ++writes_;
@@ -79,11 +79,12 @@ class FixedLatencyPort : public MemPort
         ++reads_;
         ++outstanding_;
         maxOutstanding_ = std::max(maxOutstanding_, outstanding_);
-        eq_.scheduleIn(latency_, [this, cb = std::move(done)]() {
-            --outstanding_;
-            if (cb)
-                cb();
-        });
+        eq_.scheduleIn(latency_,
+                       [this, cb = std::move(done)]() mutable {
+                           --outstanding_;
+                           if (cb)
+                               cb();
+                       });
     }
 
     EventQueue &eq_;

@@ -78,6 +78,37 @@ TEST(PageAllocator, TranslationIsStable)
     EXPECT_EQ(a.allocatedFrames(0), 1u);
 }
 
+TEST(PageAllocator, TranslationCacheCountsHits)
+{
+    PageAllocator a = makeAlloc();
+    // First touch misses; repeats of the same (program, vpage) hit
+    // the one-entry cache, a different page misses again.
+    a.translate(0, 42);
+    a.translate(0, 42);
+    a.translate(0, 42);
+    a.translate(0, 7);
+    a.translate(0, 42); // evicted by vpage 7: miss
+    EXPECT_EQ(a.stats().counter("translations"), 5u);
+    EXPECT_EQ(a.stats().counter("cache_hits"), 2u);
+    EXPECT_NEAR(a.cacheHitRate(), 2.0 / 5.0, 1e-12);
+}
+
+TEST(PageAllocator, TranslationCacheIsPerProgram)
+{
+    PageAllocator a = makeAlloc();
+    // Interleaved programs must not evict each other's entry.
+    a.translate(0, 42);
+    a.translate(1, 42);
+    std::uint64_t f0 = a.translate(0, 42); // hit, program 0's entry
+    std::uint64_t f1 = a.translate(1, 42); // hit, program 1's entry
+    EXPECT_EQ(a.stats().counter("cache_hits"), 2u);
+    EXPECT_NE(f0, f1); // distinct programs, distinct frames
+    // Releasing a program invalidates its cached entry.
+    a.releaseProgram(1);
+    a.translate(1, 42);
+    EXPECT_EQ(a.stats().counter("cache_hits"), 2u);
+}
+
 TEST(PageAllocator, DistinctPagesDistinctFrames)
 {
     PageAllocator a = makeAlloc();
