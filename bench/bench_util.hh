@@ -12,6 +12,18 @@
  *                     threads); `--jobs N` / `-j N` overrides
  *   PROFESS_PROGRESS  =1/=0: force per-job progress lines on/off
  *                     (default: on when stderr is a terminal)
+ *   PROFESS_LOG       log verbosity (0/1/2 or error/warn/info);
+ *                     `--quiet` / `--verbose` / `--log-level N`
+ *                     override
+ *   PROFESS_TRACE     =1: record decision + chrome traces
+ *                     (`--trace` equivalent)
+ *   PROFESS_TELEMETRY_OUT
+ *                     artifact directory for per-run manifests,
+ *                     stats and time-series
+ *                     (`--telemetry-out DIR` equivalent)
+ *   PROFESS_EPOCH_TICKS
+ *                     epoch-sampler period in MC ticks
+ *                     (default 25000; `--epoch-ticks N`)
  *
  * Results are bit-identical for every worker count: job seeds are
  * derived from (policy, mix, sweep point), never from scheduling
@@ -26,9 +38,11 @@
 #include <string>
 #include <vector>
 
+#include "common/logging.hh"
 #include "common/stats.hh"
 #include "sim/experiment.hh"
 #include "sim/parallel_runner.hh"
+#include "sim/run_telemetry.hh"
 
 namespace profess
 {
@@ -100,11 +114,16 @@ header(const char *what, const char *paper_ref)
 
 /**
  * Experiment runner honoring `--jobs N` / `-j N` / PROFESS_JOBS,
- * announcing the worker count when running parallel.
+ * announcing the worker count when running parallel.  Also applies
+ * the shared observability flags: logging (--quiet/--verbose/
+ * --log-level) and telemetry (--trace/--telemetry-out/
+ * --epoch-ticks), stripping them from argv.
  */
 inline sim::ParallelRunner
-makeRunner(int argc, char **argv)
+makeRunner(int &argc, char **argv)
 {
+    logging::configure(argc, argv);
+    sim::TelemetryConfig::global().initFromArgs(argc, argv);
     unsigned jobs = sim::ParallelRunner::jobsFromArgs(argc, argv);
     if (jobs > 1)
         std::fprintf(stderr, "[profess] running with %u workers "

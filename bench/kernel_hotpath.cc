@@ -19,16 +19,23 @@
  *   --quick      tiny configuration for CI smoke runs
  *   --out FILE   write JSON to FILE instead of stdout
  *   --label S    annotate the JSON with a label (e.g. "before")
+ *   --trace / --telemetry-out DIR / --epoch-ticks N
+ *                shared observability flags (sim/run_telemetry.hh);
+ *                used by the CI overhead gate to compare
+ *                telemetry-off against telemetry-on wall time
  */
 
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <sys/resource.h>
 #include <vector>
 
+#include "common/logging.hh"
 #include "sim/experiment.hh"
+#include "sim/run_telemetry.hh"
 #include "sim/system.hh"
 #include "sim/workloads.hh"
 #include "trace/spec_profiles.hh"
@@ -80,14 +87,27 @@ runOne(const RunSpec &spec, std::uint64_t quota)
     }
 
     sim::System sys(cfg, spec.policy, std::move(sources));
+
+    std::string run_name = std::string(spec.name) + "_" + spec.policy;
+    std::unique_ptr<sim::RunTelemetry> telemetry;
+    const sim::TelemetryConfig &tc = sim::TelemetryConfig::global();
+    if (tc.enabled()) {
+        telemetry =
+            std::make_unique<sim::RunTelemetry>(tc, run_name);
+        sys.attachTelemetry(*telemetry);
+    }
+
     auto t0 = std::chrono::steady_clock::now();
     sys.run();
     auto t1 = std::chrono::steady_clock::now();
 
+    if (telemetry != nullptr) {
+        telemetry->finish(spec.policy, spec.name, seed,
+                          sim::configJson(cfg), true);
+    }
+
     RunNumbers n;
-    n.name = spec.name;
-    n.name += "_";
-    n.name += spec.policy;
+    n.name = run_name;
     n.policy = spec.policy;
     n.cores = sys.numCores();
     n.accesses = sys.controller().servedTotal();
@@ -110,6 +130,8 @@ runOne(const RunSpec &spec, std::uint64_t quota)
 int
 main(int argc, char **argv)
 {
+    logging::configure(argc, argv);
+    sim::TelemetryConfig::global().initFromArgs(argc, argv);
     bool quick = false;
     std::string out;
     std::string label = "run";

@@ -9,16 +9,29 @@ a change's before/after numbers stay recorded next to the code.
 Subcommands:
   show FILE...             print a table of one or more result files
   record --out TRAJ FILE...  append result files to a trajectory doc
-  compare BASE CAND [--max-regression X]
+  compare BASE CAND [--max-regression X] [--total]
                            compare per-run ns/access; exit 1 if any
                            run of CAND is more than X times slower
-                           than BASE (CI perf-smoke gate)
+                           than BASE (CI perf-smoke gate).  --total
+                           gates on the aggregate ns/access instead
+                           (less noisy; used by the telemetry
+                           overhead gate)
+  best FILE... --out OUT   keep the result file with the lowest
+                           total ns/access (min over repeated runs,
+                           the noise-robust estimator for tight
+                           overhead gates on shared CI machines)
+
+show and record accept --with-telemetry DIR: for each run of a
+result file, DIR/<run name>/manifest.json (written by kernel_hotpath
+--telemetry-out) is cross-linked so a perf-trajectory point carries
+the exact config, seed and git sha that produced it.
 
 Only the standard library is used.
 """
 
 import argparse
 import json
+import os
 import signal
 import sys
 
@@ -64,9 +77,54 @@ def fmt_table(doc):
     return "\n".join(lines)
 
 
+def telemetry_manifest(tdir, run_name):
+    """Load DIR/<run name>/manifest.json, or None if absent."""
+    path = os.path.join(tdir, run_name, "manifest.json")
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (FileNotFoundError, json.JSONDecodeError):
+        return None
+
+
+def telemetry_link(tdir, run_name):
+    """Reproducibility cross-link for one run (None if no manifest)."""
+    m = telemetry_manifest(tdir, run_name)
+    if m is None:
+        return None
+    return {
+        "dir": os.path.join(tdir, run_name),
+        "seed": m.get("seed"),
+        "git_sha": m.get("git_sha"),
+        "policy": m.get("policy"),
+        "wall_seconds": m.get("wall_seconds"),
+        "peak_rss_kb": m.get("peak_rss_kb"),
+        "config": m.get("config"),
+    }
+
+
+def fmt_telemetry(doc, tdir):
+    lines = [f"  telemetry ({tdir}):"]
+    for r in doc["runs"]:
+        link = telemetry_link(tdir, r["name"])
+        if link is None:
+            lines.append(f"    {r['name']:<22} (no manifest)")
+            continue
+        sha = (link["git_sha"] or "?")[:12]
+        lines.append(
+            f"    {r['name']:<22} seed={link['seed']} sha={sha} "
+            f"wall={link['wall_seconds']:.2f}s "
+            f"rss={link['peak_rss_kb'] / 1024:.0f}MiB"
+        )
+    return "\n".join(lines)
+
+
 def cmd_show(args):
     for path in args.files:
-        print(fmt_table(load(path)))
+        doc = load(path)
+        print(fmt_table(doc))
+        if args.with_telemetry:
+            print(fmt_telemetry(doc, args.with_telemetry))
         print()
     return 0
 
@@ -82,6 +140,11 @@ def cmd_record(args):
 
     for path in args.files:
         doc = load(path)
+        if args.with_telemetry:
+            for r in doc["runs"]:
+                link = telemetry_link(args.with_telemetry, r["name"])
+                if link is not None:
+                    r["telemetry"] = link
         traj["entries"].append(doc)
         print(f"recorded {doc.get('label', '?')} from {path}")
 
@@ -114,21 +177,55 @@ def cmd_compare(args):
         )
         worst = max(worst, ratio)
         flag = ""
-        if ratio > args.max_regression:
+        if ratio > args.max_regression and not args.total:
             flag = "  << REGRESSION"
             failed = True
         print(
             f"  {r['name']:<22} {b['ns_per_access']:>10.1f} "
             f"{r['ns_per_access']:>10.1f} {ratio:>6.2f}x{flag}"
         )
+    if args.total:
+        # Gate on the matrix-wide aggregate only: per-run numbers on
+        # a quick CI box are too noisy for tight (2%/15%) bounds.
+        bt = base["total"]["ns_per_access"]
+        ct = cand["total"]["ns_per_access"]
+        ratio = ct / bt if bt > 0 else float("inf")
+        failed = ratio > args.max_regression
+        print(
+            f"  {'TOTAL':<22} {bt:>10.1f} {ct:>10.1f} "
+            f"{ratio:>6.2f}x{'  << REGRESSION' if failed else ''}"
+        )
+        worst = ratio
     print(
         f"worst ratio {worst:.2f}x "
-        f"(limit {args.max_regression:.2f}x)"
+        f"(limit {args.max_regression:.2f}x"
+        f"{', total only' if args.total else ''})"
     )
     if failed:
         print("FAIL: kernel perf-smoke regression", file=sys.stderr)
         return 1
     print("OK")
+    return 0
+
+
+def cmd_best(args):
+    best_path, best_doc = None, None
+    for path in args.files:
+        doc = load(path)
+        t = doc["total"]["ns_per_access"]
+        if (
+            best_doc is None
+            or t < best_doc["total"]["ns_per_access"]
+        ):
+            best_path, best_doc = path, doc
+    with open(args.out, "w") as f:
+        json.dump(best_doc, f, indent=1)
+        f.write("\n")
+    print(
+        f"best of {len(args.files)}: {best_path} "
+        f"({best_doc['total']['ns_per_access']:.1f} ns/access) "
+        f"-> {args.out}"
+    )
     return 0
 
 
@@ -138,18 +235,38 @@ def main():
 
     s = sub.add_parser("show", help="print result tables")
     s.add_argument("files", nargs="+")
+    s.add_argument(
+        "--with-telemetry",
+        metavar="DIR",
+        help="cross-link run manifests from a --telemetry-out dir",
+    )
     s.set_defaults(fn=cmd_show)
 
     s = sub.add_parser("record", help="append to a trajectory doc")
     s.add_argument("--out", required=True)
     s.add_argument("files", nargs="+")
+    s.add_argument(
+        "--with-telemetry",
+        metavar="DIR",
+        help="embed run-manifest cross-links into recorded entries",
+    )
     s.set_defaults(fn=cmd_record)
 
     s = sub.add_parser("compare", help="CI regression gate")
     s.add_argument("base")
     s.add_argument("cand")
     s.add_argument("--max-regression", type=float, default=2.0)
+    s.add_argument(
+        "--total",
+        action="store_true",
+        help="gate on total ns/access instead of per-run",
+    )
     s.set_defaults(fn=cmd_compare)
+
+    s = sub.add_parser("best", help="pick the fastest of N results")
+    s.add_argument("files", nargs="+")
+    s.add_argument("--out", required=True)
+    s.set_defaults(fn=cmd_best)
 
     args = p.parse_args()
     sys.exit(args.fn(args))

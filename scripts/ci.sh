@@ -13,6 +13,14 @@
 #      matrix.  The loose factor absorbs machine-to-machine and
 #      CI-noise variance while still catching algorithmic
 #      regressions of the simulation kernel.
+#   4. Telemetry overhead: kernel_hotpath --quick twice more,
+#      telemetry off and fully on (--trace --telemetry-out).
+#      Off must stay within 2% of the checked-in baseline on the
+#      aggregate ns/access (the disabled instrumentation is one
+#      predictable branch per site); on must stay within 15% of
+#      the off run measured back-to-back on the same machine.
+#      The generated manifests/JSONL/chrome traces are uploaded
+#      as CI artifacts (see .github/workflows/ci.yml).
 #
 # Usage: scripts/ci.sh [jobs]   (default: nproc)
 
@@ -21,7 +29,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
 
-echo "==> [1/3] Debug + TSan: parallel runner tests"
+echo "==> [1/4] Debug + TSan: parallel runner tests"
 cmake -B build-tsan -S . \
     -DCMAKE_BUILD_TYPE=Debug \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -g -O1" \
@@ -31,17 +39,52 @@ TSAN_OPTIONS="halt_on_error=1" \
     ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
         -R 'ThreadPool|AloneCache|Differential|ParallelRunner'
 
-echo "==> [2/3] Release: full suite"
+echo "==> [2/4] Release: full suite"
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "==> [3/3] Kernel perf smoke"
+echo "==> [3/4] Kernel perf smoke"
 cmake --build build -j "$JOBS" --target kernel_hotpath
 ./build/bench/kernel_hotpath --quick --label ci-smoke \
     --out build/kernel_smoke.json
 python3 scripts/bench_report.py compare \
     bench/baselines/kernel_quick.json build/kernel_smoke.json \
     --max-regression 2.0
+
+echo "==> [4/4] Telemetry overhead gate"
+# The 2%/15% bounds are far tighter than single-shot noise on a
+# shared CI box, so each mode runs three times (interleaved, to
+# balance load drift) and the gate uses the best run of each —
+# min total ns/access, the noise-robust estimator.
+for i in 1 2 3; do
+    ./build/bench/kernel_hotpath --quick --label telemetry-off \
+        --out "build/kernel_telemetry_off.$i.json"
+    ./build/bench/kernel_hotpath --quick --label telemetry-on \
+        --trace --telemetry-out build/telemetry-artifacts \
+        --out "build/kernel_telemetry_on.$i.json"
+done
+python3 scripts/bench_report.py best \
+    build/kernel_telemetry_off.[123].json \
+    --out build/kernel_telemetry_off.json
+python3 scripts/bench_report.py best \
+    build/kernel_telemetry_on.[123].json \
+    --out build/kernel_telemetry_on.json
+# Disabled telemetry must cost nothing measurable: aggregate
+# ns/access within 2% of the checked-in baseline.
+python3 scripts/bench_report.py compare \
+    bench/baselines/kernel_quick.json \
+    build/kernel_telemetry_off.json \
+    --max-regression 1.02 --total
+# Full tracing + sampling + artifact output: within 15% of the
+# off run measured back-to-back on this machine.
+python3 scripts/bench_report.py compare \
+    build/kernel_telemetry_off.json \
+    build/kernel_telemetry_on.json \
+    --max-regression 1.15 --total
+# Cross-link the on-run trajectory point to its manifests.
+python3 scripts/bench_report.py show \
+    build/kernel_telemetry_on.json \
+    --with-telemetry build/telemetry-artifacts
 
 echo "==> CI passed"

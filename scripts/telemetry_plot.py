@@ -1,0 +1,215 @@
+#!/usr/bin/env python3
+"""Render time-series from a telemetry run directory.
+
+Works on the epochs.jsonl written by `--telemetry-out DIR`: one JSON
+object per sampling epoch, {"tick": T, "epoch": K, "v": {name:
+value}}.  The default selection is the paper's headline dynamic
+quantity — per-program RSM sharing factors SF_A/SF_B (Sec. 3.1) —
+but any registered stat can be plotted with --series.
+
+Rendering is dependency-free: an ASCII chart on stdout and,
+with --out FILE.svg, a standalone SVG (no matplotlib needed).
+
+Usage:
+  telemetry_plot.py RUN_DIR [--series GLOB ...] [--out FILE.svg]
+  telemetry_plot.py RUN_DIR --list
+
+Examples:
+  # SF_A/SF_B convergence of a fig13 run (EXPERIMENTS.md recipe)
+  telemetry_plot.py out/fig13/w01_profess
+  # STC hit rate and channel queue depth, as SVG
+  telemetry_plot.py out/fig13/w01_profess \\
+      --series 'hybrid.stc.hit_rate' 'mem.*.read_queue' \\
+      --out stc.svg
+"""
+
+import argparse
+import fnmatch
+import json
+import os
+import sys
+
+DEFAULT_SERIES = ["policy.*.rsm.*.sf_a", "policy.*.rsm.*.sf_b"]
+
+ASCII_WIDTH = 72
+ASCII_HEIGHT = 16
+SVG_W, SVG_H, SVG_PAD = 800, 400, 56
+SVG_COLORS = [
+    "#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd",
+    "#8c564b", "#e377c2", "#7f7f7f", "#bcbd22", "#17becf",
+]
+
+
+def load_epochs(run_dir):
+    path = os.path.join(run_dir, "epochs.jsonl")
+    ticks, rows = [], []
+    try:
+        with open(path) as f:
+            for line in f:
+                line = line.strip()
+                if not line:
+                    continue
+                obj = json.loads(line)
+                ticks.append(obj["tick"])
+                rows.append(obj["v"])
+    except FileNotFoundError:
+        sys.exit(f"{path}: not found (was the run made with "
+                 "--telemetry-out?)")
+    if not rows:
+        sys.exit(f"{path}: no epochs recorded")
+    return ticks, rows
+
+
+def select_series(rows, patterns):
+    names = sorted(rows[0].keys())
+    chosen = []
+    for pat in patterns:
+        matched = [n for n in names if fnmatch.fnmatch(n, pat)]
+        if not matched and pat in names:
+            matched = [pat]
+        for n in matched:
+            if n not in chosen:
+                chosen.append(n)
+    return chosen
+
+
+def series_values(ticks, rows, name):
+    return [(t, r.get(name, 0.0)) for t, r in zip(ticks, rows)]
+
+
+def value_range(all_series):
+    lo = min(v for s in all_series for _, v in s)
+    hi = max(v for s in all_series for _, v in s)
+    if hi == lo:
+        hi = lo + 1.0
+    return lo, hi
+
+
+def ascii_chart(names, all_series):
+    lo, hi = value_range(all_series)
+    t0 = all_series[0][0][0]
+    t1 = all_series[0][-1][0]
+    span = max(t1 - t0, 1)
+    grid = [[" "] * ASCII_WIDTH for _ in range(ASCII_HEIGHT)]
+    marks = "ox+*#%@&$~"
+    for si, series in enumerate(all_series):
+        mark = marks[si % len(marks)]
+        for t, v in series:
+            x = int((t - t0) / span * (ASCII_WIDTH - 1))
+            y = int((v - lo) / (hi - lo) * (ASCII_HEIGHT - 1))
+            grid[ASCII_HEIGHT - 1 - y][x] = mark
+    out = []
+    for i, row in enumerate(grid):
+        label = ""
+        if i == 0:
+            label = f"{hi:.3g}"
+        elif i == ASCII_HEIGHT - 1:
+            label = f"{lo:.3g}"
+        out.append(f"{label:>9} |{''.join(row)}|")
+    out.append(f"{'':>9} +{'-' * ASCII_WIDTH}+")
+    out.append(f"{'':>9}  tick {t0} .. {t1}")
+    for si, name in enumerate(names):
+        out.append(f"{'':>9}  {marks[si % len(marks)]} = {name}")
+    return "\n".join(out)
+
+
+def svg_chart(names, all_series, title):
+    lo, hi = value_range(all_series)
+    t0 = all_series[0][0][0]
+    t1 = all_series[0][-1][0]
+    span = max(t1 - t0, 1)
+    iw = SVG_W - 2 * SVG_PAD
+    ih = SVG_H - 2 * SVG_PAD
+
+    def sx(t):
+        return SVG_PAD + (t - t0) / span * iw
+
+    def sy(v):
+        return SVG_H - SVG_PAD - (v - lo) / (hi - lo) * ih
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{SVG_W}" '
+        f'height="{SVG_H}" font-family="monospace" font-size="12">',
+        f'<rect width="{SVG_W}" height="{SVG_H}" fill="white"/>',
+        f'<text x="{SVG_PAD}" y="20">{title}</text>',
+        f'<rect x="{SVG_PAD}" y="{SVG_PAD}" width="{iw}" '
+        f'height="{ih}" fill="none" stroke="#999"/>',
+        f'<text x="4" y="{SVG_PAD + 4}">{hi:.4g}</text>',
+        f'<text x="4" y="{SVG_H - SVG_PAD}">{lo:.4g}</text>',
+        f'<text x="{SVG_PAD}" y="{SVG_H - SVG_PAD + 16}">'
+        f"tick {t0}</text>",
+        f'<text x="{SVG_W - SVG_PAD - 80}" '
+        f'y="{SVG_H - SVG_PAD + 16}">tick {t1}</text>',
+    ]
+    for si, (name, series) in enumerate(zip(names, all_series)):
+        color = SVG_COLORS[si % len(SVG_COLORS)]
+        pts = " ".join(
+            f"{sx(t):.1f},{sy(v):.1f}" for t, v in series
+        )
+        parts.append(
+            f'<polyline points="{pts}" fill="none" '
+            f'stroke="{color}" stroke-width="1.5"/>'
+        )
+        ly = 36 + 14 * si
+        parts.append(
+            f'<rect x="{SVG_W - 250}" y="{ly - 9}" width="10" '
+            f'height="10" fill="{color}"/>'
+        )
+        parts.append(
+            f'<text x="{SVG_W - 235}" y="{ly}">{name}</text>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def main():
+    p = argparse.ArgumentParser(description=__doc__)
+    p.add_argument("run_dir", help="one --telemetry-out run dir")
+    p.add_argument(
+        "--series",
+        nargs="+",
+        metavar="GLOB",
+        help="stat names or globs to plot "
+        "(default: per-program SF_A/SF_B)",
+    )
+    p.add_argument("--out", help="write an SVG instead of ASCII")
+    p.add_argument(
+        "--list",
+        action="store_true",
+        help="list available series names and exit",
+    )
+    args = p.parse_args()
+
+    ticks, rows = load_epochs(args.run_dir)
+    if args.list:
+        for n in sorted(rows[0].keys()):
+            print(n)
+        return 0
+
+    patterns = args.series or DEFAULT_SERIES
+    names = select_series(rows, patterns)
+    if not names:
+        sys.exit(
+            f"no series match {patterns}; try --list "
+            "(SF series exist only for runs under rsm-based "
+            "policies such as profess)"
+        )
+    all_series = [series_values(ticks, rows, n) for n in names]
+
+    title = (
+        f"{os.path.basename(os.path.normpath(args.run_dir))}: "
+        f"{len(ticks)} epochs"
+    )
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(svg_chart(names, all_series, title))
+        print(f"wrote {args.out} ({len(names)} series, "
+              f"{len(ticks)} epochs)")
+    else:
+        print(title)
+        print(ascii_chart(names, all_series))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,6 +1,7 @@
 #include "cache/cache.hh"
 
 #include "common/logging.hh"
+#include "common/telemetry.hh"
 
 namespace profess
 {
@@ -128,6 +129,17 @@ Hierarchy::access(Addr addr, bool is_write)
         out.memWritebacks.push_back(o3.writebackAddr);
     out.l3Miss = true;
     return out;
+}
+
+void
+Cache::registerTelemetry(telemetry::StatRegistry &registry,
+                         const std::string &prefix) const
+{
+    registry.addCounter(prefix + ".hits", hits_);
+    registry.addCounter(prefix + ".misses", misses_);
+    registry.addCounter(prefix + ".writebacks", writebacks_);
+    registry.addProbe(prefix + ".hit_rate",
+                      [this]() { return hitRate(); });
 }
 
 } // namespace cache

@@ -21,6 +21,11 @@
 namespace profess
 {
 
+namespace telemetry
+{
+class StatRegistry;
+} // namespace telemetry
+
 namespace cache
 {
 
@@ -77,6 +82,10 @@ class Cache
                       : static_cast<double>(hits_) /
                             static_cast<double>(t);
     }
+
+    /** Register hit/miss/writeback counters under `prefix`. */
+    void registerTelemetry(telemetry::StatRegistry &registry,
+                           const std::string &prefix) const;
 
   private:
     struct Line

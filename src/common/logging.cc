@@ -1,5 +1,10 @@
 #include "common/logging.hh"
 
+#include <cstdint>
+#include <cstring>
+#include <mutex>
+#include <unordered_map>
+
 namespace profess
 {
 
@@ -11,6 +16,32 @@ int verbosity = 2;
 namespace
 {
 
+/**
+ * Rate limiting of identical warnings: the first `warnRepeatLimit`
+ * occurrences of an exact formatted message print; later repeats are
+ * counted silently and summarized once at process exit.
+ */
+constexpr std::uint64_t warnRepeatLimit = 5;
+
+std::mutex warnMutex;
+std::unordered_map<std::string, std::uint64_t> warnCounts;
+bool exitHookArmed = false;
+
+void
+reportSuppressed()
+{
+    std::lock_guard<std::mutex> lock(warnMutex);
+    for (const auto &kv : warnCounts) {
+        if (kv.second > warnRepeatLimit) {
+            std::fprintf(stderr, "warn: suppressed %llu repeats "
+                         "of: %s\n",
+                         static_cast<unsigned long long>(
+                             kv.second - warnRepeatLimit),
+                         kv.first.c_str());
+        }
+    }
+}
+
 void
 vreport(const char *prefix, const char *fmt, va_list ap)
 {
@@ -19,7 +50,80 @@ vreport(const char *prefix, const char *fmt, va_list ap)
     std::fprintf(stderr, "\n");
 }
 
+int
+parseLevel(const char *s)
+{
+    if (std::strcmp(s, "0") == 0 || std::strcmp(s, "error") == 0)
+        return 0;
+    if (std::strcmp(s, "1") == 0 || std::strcmp(s, "warn") == 0)
+        return 1;
+    if (std::strcmp(s, "2") == 0 || std::strcmp(s, "info") == 0)
+        return 2;
+    return -1;
+}
+
 } // anonymous namespace
+
+void
+configureFromEnv()
+{
+    if (const char *env = std::getenv("PROFESS_LOG")) {
+        int level = parseLevel(env);
+        if (level >= 0)
+            verbosity = level;
+        else
+            warn("PROFESS_LOG=%s not understood (want 0/1/2 or "
+                 "error/warn/info)", env);
+    }
+}
+
+void
+configure(int &argc, char **argv)
+{
+    configureFromEnv();
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        if (std::strcmp(a, "--quiet") == 0 ||
+            std::strcmp(a, "-q") == 0) {
+            verbosity = 1;
+        } else if (std::strcmp(a, "--silent") == 0) {
+            verbosity = 0;
+        } else if (std::strcmp(a, "--verbose") == 0) {
+            verbosity = 2;
+        } else if (std::strcmp(a, "--log-level") == 0 &&
+                   i + 1 < argc) {
+            int level = parseLevel(argv[++i]);
+            fatal_if(level < 0, "--log-level wants 0/1/2 or "
+                     "error/warn/info, got '%s'", argv[i]);
+            verbosity = level;
+        } else if (std::strncmp(a, "--log-level=", 12) == 0) {
+            int level = parseLevel(a + 12);
+            fatal_if(level < 0, "--log-level wants 0/1/2 or "
+                     "error/warn/info, got '%s'", a + 12);
+            verbosity = level;
+        } else {
+            argv[out++] = argv[i];
+        }
+    }
+    argc = out;
+    argv[argc] = nullptr;
+}
+
+void
+resetWarnHistory()
+{
+    std::lock_guard<std::mutex> lock(warnMutex);
+    warnCounts.clear();
+}
+
+std::uint64_t
+warnCount(const std::string &msg)
+{
+    std::lock_guard<std::mutex> lock(warnMutex);
+    auto it = warnCounts.find(msg);
+    return it == warnCounts.end() ? 0 : it->second;
+}
 
 void
 panicImpl(const char *file, int line, const char *fmt, ...)
@@ -50,10 +154,28 @@ warnImpl(const char *fmt, ...)
 {
     if (verbosity < 1)
         return;
+
+    char buf[1024];
     va_list ap;
     va_start(ap, fmt);
-    vreport("warn: ", fmt, ap);
+    std::vsnprintf(buf, sizeof(buf), fmt, ap);
     va_end(ap);
+
+    std::uint64_t count;
+    {
+        std::lock_guard<std::mutex> lock(warnMutex);
+        count = ++warnCounts[buf];
+        if (!exitHookArmed) {
+            exitHookArmed = true;
+            std::atexit(reportSuppressed);
+        }
+    }
+    if (count > warnRepeatLimit)
+        return;
+    std::fprintf(stderr, "warn: %s%s\n", buf,
+                 count == warnRepeatLimit
+                     ? " (further repeats suppressed)"
+                     : "");
 }
 
 void

@@ -12,6 +12,7 @@
 #define PROFESS_COMMON_LOGGING_HH
 
 #include <cstdarg>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -24,6 +25,29 @@ namespace logging
 
 /** Global verbosity: 0 = errors only, 1 = warn, 2 = inform (default). */
 extern int verbosity;
+
+/**
+ * Centralized verbosity configuration.
+ *
+ * Reads the PROFESS_LOG environment variable (0/1/2 or
+ * error/warn/info) and then strips any of --quiet, --silent,
+ * --verbose and --log-level[=]N out of argv, adjusting argc, so
+ * binaries call this once before their own flag parsing instead of
+ * each poking the bare global.
+ */
+void configure(int &argc, char **argv);
+
+/** Parse only the environment (for binaries without argv access). */
+void configureFromEnv();
+
+/**
+ * Drop the warn() rate-limit history (tests; also useful between
+ * independent runs in one process).
+ */
+void resetWarnHistory();
+
+/** @return times an exact formatted warning has fired so far. */
+std::uint64_t warnCount(const std::string &msg);
 
 [[noreturn]] void panicImpl(const char *file, int line, const char *fmt,
                             ...) __attribute__((format(printf, 3, 4)));

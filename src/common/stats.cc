@@ -7,6 +7,57 @@
 namespace profess
 {
 
+Histogram::Histogram(double bucket_width, std::size_t num_buckets)
+    : width_(bucket_width), buckets_(num_buckets + 1, 0)
+{
+    fatal_if(num_buckets < 1, "Histogram needs >= 1 bucket");
+    fatal_if(!(bucket_width > 0.0),
+             "Histogram bucket width must be > 0 (got %g)",
+             bucket_width);
+    // Bucket edges are 0, w, 2w, ...: strictly increasing as long
+    // as adding one width to the largest edge still moves it (a
+    // denormal width under a large edge would collapse edges).
+    double last = width_ * static_cast<double>(num_buckets - 1);
+    fatal_if(last + width_ <= last,
+             "Histogram bucket edges not monotone "
+             "(width %g too small for %zu buckets)",
+             bucket_width, num_buckets);
+}
+
+void
+Histogram::dumpJson(std::FILE *f) const
+{
+    std::fprintf(f, "{\"bucket_width\":%.17g,\"underflow\":%llu,"
+                 "\"overflow\":%llu,\"counts\":[",
+                 width_,
+                 static_cast<unsigned long long>(underflow_),
+                 static_cast<unsigned long long>(overflow()));
+    for (std::size_t i = 0; i + 1 < buckets_.size(); ++i) {
+        std::fprintf(f, "%s%llu", i ? "," : "",
+                     static_cast<unsigned long long>(buckets_[i]));
+    }
+    std::fprintf(f, "],\"count\":%llu,\"mean\":%.17g}\n",
+                 static_cast<unsigned long long>(stat_.count()),
+                 stat_.mean());
+}
+
+void
+Histogram::dumpText(std::FILE *f) const
+{
+    std::fprintf(f, "%12s %12s\n", "edge", "count");
+    if (underflow_ != 0) {
+        std::fprintf(f, "%12s %12llu\n", "< 0",
+                     static_cast<unsigned long long>(underflow_));
+    }
+    for (std::size_t i = 0; i + 1 < buckets_.size(); ++i) {
+        std::fprintf(f, "%12g %12llu\n",
+                     width_ * static_cast<double>(i + 1),
+                     static_cast<unsigned long long>(buckets_[i]));
+    }
+    std::fprintf(f, "%12s %12llu\n", "overflow",
+                 static_cast<unsigned long long>(overflow()));
+}
+
 double
 Histogram::quantile(double q) const
 {

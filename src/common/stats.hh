@@ -15,6 +15,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <map>
 #include <string>
 #include <vector>
@@ -111,7 +112,12 @@ class ExpSmoother
     bool primed_ = false;
 };
 
-/** Fixed-width-bucket histogram with overflow bucket. */
+/**
+ * Fixed-width-bucket histogram with explicit underflow and overflow
+ * accounting.  Construction validates the implied bucket edges
+ * (0, w, 2w, ...) are strictly increasing (width > 0 and not so
+ * small that consecutive edges collapse in floating point).
+ */
 class Histogram
 {
   public:
@@ -119,19 +125,18 @@ class Histogram
      * @param bucket_width Width of each bucket (> 0).
      * @param num_buckets Number of regular buckets (>= 1).
      */
-    Histogram(double bucket_width, std::size_t num_buckets)
-        : width_(bucket_width), buckets_(num_buckets + 1, 0)
-    {
-    }
+    Histogram(double bucket_width, std::size_t num_buckets);
 
     /** Add one sample. */
     void
     add(double x)
     {
         stat_.add(x);
-        std::size_t i = x < 0
-            ? 0
-            : static_cast<std::size_t>(x / width_);
+        if (x < 0) {
+            ++underflow_;
+            return;
+        }
+        auto i = static_cast<std::size_t>(x / width_);
         if (i >= buckets_.size() - 1)
             i = buckets_.size() - 1;
         ++buckets_[i];
@@ -142,6 +147,12 @@ class Histogram
 
     /** @return number of buckets including overflow. */
     std::size_t numBuckets() const { return buckets_.size(); }
+
+    /** @return samples below the first bucket edge (x < 0). */
+    std::uint64_t underflow() const { return underflow_; }
+
+    /** @return samples at or beyond the last regular edge. */
+    std::uint64_t overflow() const { return buckets_.back(); }
 
     /** @return summary statistics over all added samples. */
     const RunningStat &summary() const { return stat_; }
@@ -154,9 +165,19 @@ class Histogram
      */
     double quantile(double q) const;
 
+    /**
+     * Dump as one JSON object: bucket edges and counts plus
+     * explicit "underflow" and "overflow" fields.
+     */
+    void dumpJson(std::FILE *f) const;
+
+    /** Dump as an aligned text table (same content as the JSON). */
+    void dumpText(std::FILE *f) const;
+
   private:
     double width_;
     std::vector<std::uint64_t> buckets_;
+    std::uint64_t underflow_ = 0;
     RunningStat stat_;
 };
 

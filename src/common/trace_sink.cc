@@ -1,0 +1,161 @@
+#include "common/trace_sink.hh"
+
+#include <cinttypes>
+
+#include "common/logging.hh"
+
+namespace profess
+{
+
+namespace telemetry
+{
+
+const char *
+traceKindName(TraceKind k)
+{
+    switch (k) {
+      case TraceKind::MdmDecide:
+        return "mdm_decide";
+      case TraceKind::GuidanceCase:
+        return "guidance_case";
+      case TraceKind::RsmPeriod:
+        return "rsm_period";
+      default:
+        return "unknown";
+    }
+}
+
+//
+// DecisionTraceSink
+//
+
+DecisionTraceSink::DecisionTraceSink(std::size_t capacity)
+{
+    panic_if(capacity == 0, "trace ring capacity must be > 0");
+    ring_.resize(capacity);
+}
+
+std::size_t
+DecisionTraceSink::retainedCount() const
+{
+    return total_ < ring_.size() ? static_cast<std::size_t>(total_)
+                                 : ring_.size();
+}
+
+std::vector<TraceRecord>
+DecisionTraceSink::retained() const
+{
+    std::vector<TraceRecord> out;
+    std::size_t n = retainedCount();
+    out.reserve(n);
+    if (total_ <= ring_.size()) {
+        out.assign(ring_.begin(),
+                   ring_.begin() + static_cast<std::ptrdiff_t>(n));
+    } else {
+        for (std::size_t i = 0; i < n; ++i)
+            out.push_back(ring_[(head_ + i) % ring_.size()]);
+    }
+    return out;
+}
+
+void
+DecisionTraceSink::flushJsonl(std::FILE *f) const
+{
+    for (const TraceRecord &r : retained()) {
+        std::fprintf(
+            f,
+            "{\"tick\":%" PRIu64 ",\"kind\":\"%s\",\"group\":%" PRIu64
+            ",\"accessor\":%d,\"m1_owner\":%d,\"q_i\":%u,"
+            "\"a\":%.17g,\"b\":%.17g,\"margin\":%.17g,"
+            "\"detail\":%u,\"swapped\":%u}\n",
+            static_cast<std::uint64_t>(r.tick),
+            traceKindName(static_cast<TraceKind>(r.kind)), r.group,
+            r.accessor, r.m1Owner, r.qI, r.a, r.b, r.margin, r.detail,
+            r.swapped);
+    }
+    std::uint64_t retainedN = retainedCount();
+    std::fprintf(f,
+                 "{\"summary\":{\"total\":%" PRIu64
+                 ",\"retained\":%" PRIu64 ",\"dropped\":%" PRIu64,
+                 total_, retainedN, total_ - retainedN);
+    for (std::size_t k = 0;
+         k < static_cast<std::size_t>(TraceKind::NumKinds); ++k) {
+        std::fprintf(f, ",\"%s\":%" PRIu64,
+                     traceKindName(static_cast<TraceKind>(k)),
+                     kindTotals_[k]);
+    }
+    std::fputs(",\"paths\":[", f);
+    for (std::size_t p = 0; p < numPaths; ++p)
+        std::fprintf(f, "%s%" PRIu64, p ? "," : "", pathTotals_[p]);
+    std::fputs("],\"path_swaps\":[", f);
+    for (std::size_t p = 0; p < numPaths; ++p)
+        std::fprintf(f, "%s%" PRIu64, p ? "," : "", swapTotals_[p]);
+    std::fputs("]}}\n", f);
+}
+
+//
+// ChromeTraceSink
+//
+
+ChromeTraceSink::ChromeTraceSink(std::size_t max_events)
+    : max_(max_events)
+{
+    events_.reserve(std::min<std::size_t>(max_events, 4096));
+}
+
+void
+ChromeTraceSink::writeJson(
+    std::FILE *f,
+    const std::vector<std::pair<std::string, const TimerSlot *>>
+        &timers) const
+{
+    // Chrome trace-event JSON Array Format wrapped in an object so
+    // we can carry metadata.  "ts"/"dur" are microseconds in the
+    // viewer; we emit simulation ticks directly (1 tick == 1 us on
+    // the viewer axis; see file header).
+    std::fputs("{\"displayTimeUnit\":\"ms\",\"otherData\":"
+               "{\"ts_unit\":\"sim_ticks\"},\n\"traceEvents\":[\n",
+               f);
+    bool first = true;
+    for (const Event &e : events_) {
+        if (!first)
+            std::fputs(",\n", f);
+        first = false;
+        if (e.instant) {
+            std::fprintf(f,
+                         "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":"
+                         "\"i\",\"s\":\"t\",\"ts\":%" PRIu64
+                         ",\"pid\":1,\"tid\":%u}",
+                         e.name, e.category,
+                         static_cast<std::uint64_t>(e.begin), e.tid);
+        } else {
+            std::fprintf(f,
+                         "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":"
+                         "\"X\",\"ts\":%" PRIu64 ",\"dur\":%" PRIu64
+                         ",\"pid\":1,\"tid\":%u}",
+                         e.name, e.category,
+                         static_cast<std::uint64_t>(e.begin),
+                         static_cast<std::uint64_t>(e.dur), e.tid);
+        }
+    }
+    // Host wall-clock profiling totals appear as counter samples at
+    // ts 0 on their own track, one per TimerSlot.
+    for (const auto &t : timers) {
+        if (!first)
+            std::fputs(",\n", f);
+        first = false;
+        std::fprintf(f,
+                     "{\"name\":%s,\"cat\":\"host\",\"ph\":\"C\","
+                     "\"ts\":0,\"pid\":1,\"tid\":0,\"args\":"
+                     "{\"ns\":%" PRIu64 ",\"calls\":%" PRIu64
+                     ",\"sampled\":%" PRIu64 ",\"est_ns\":%.0f}}",
+                     jsonQuote(t.first).c_str(), t.second->ns,
+                     t.second->calls, t.second->sampled,
+                     t.second->estimatedNs());
+    }
+    std::fprintf(f, "\n],\n\"dropped\":%" PRIu64 "}\n", dropped_);
+}
+
+} // namespace telemetry
+
+} // namespace profess

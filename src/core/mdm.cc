@@ -3,6 +3,8 @@
 #include <cstdlib>
 
 #include "common/logging.hh"
+#include "common/telemetry.hh"
+#include "common/trace_sink.hh"
 
 namespace profess
 {
@@ -112,21 +114,18 @@ Mdm::expCnt(ProgramId p, std::uint8_t q_i) const
     return state(p).expCntReg[q_i];
 }
 
-policy::Decision
-Mdm::decide(const policy::AccessInfo &info, bool treat_vacant) const
+Mdm::DecidePath
+Mdm::evaluate(const policy::AccessInfo &info, bool treat_vacant,
+              double &rem_m2, double &rem_m1) const
 {
-    auto tally = [this](DecidePath p) {
-        ++pathCounts_[static_cast<unsigned>(p)];
-    };
     const hybrid::StcMeta &meta = *info.meta;
-    double rem_m2 =
-        remaining(info.accessor, meta.qacAtInsert[info.slot],
-                  meta.ac[info.slot]);
+    rem_m1 = 0.0;
+    rem_m2 = remaining(info.accessor, meta.qacAtInsert[info.slot],
+                       meta.ac[info.slot]);
 
     // Top-level condition: enough predicted remaining accesses to
     // amortize the swap at all.
     if (rem_m2 < static_cast<double>(params_.minBenefit)) {
-        tally(DecidePath::NoBenefit);
         // thread_local: systems may simulate concurrently under
         // the parallel experiment runner.
         thread_local int debug_left =
@@ -143,14 +142,12 @@ Mdm::decide(const policy::AccessInfo &info, bool treat_vacant) const
                                 meta.qacAtInsert[info.slot]),
                          meta.ac[info.m1Slot]);
         }
-        return policy::Decision::NoSwap;
+        return DecidePath::NoBenefit;
     }
 
     // (a) M1 vacant (or ProFess Case 1 forcing vacancy).
-    if (treat_vacant || info.m1Owner == invalidProgram) {
-        tally(DecidePath::Vacant);
-        return policy::Decision::Swap;
-    }
+    if (treat_vacant || info.m1Owner == invalidProgram)
+        return DecidePath::Vacant;
 
     unsigned m1_cnt = meta.ac[info.m1Slot];
     if (m1_cnt == 0) {
@@ -159,43 +156,110 @@ Mdm::decide(const policy::AccessInfo &info, bool treat_vacant) const
         // ST-entry (re)insertion is weak evidence, so an incumbent
         // whose last residency was hot (QAC >= 2) is judged by its
         // prediction instead of being displaced outright.
-        if (!meta.anyOtherAccessed(hybrid::maxSlots, info.m1Slot)) {
-            tally(DecidePath::Rejected);
-            return policy::Decision::NoSwap;
-        }
+        if (!meta.anyOtherAccessed(hybrid::maxSlots, info.m1Slot))
+            return DecidePath::Rejected;
         if (meta.depleted(info.m1Slot) ||
             meta.qacAtInsert[info.m1Slot] < 2) {
-            tally(DecidePath::IdleM1);
-            return policy::Decision::Swap;
+            return DecidePath::IdleM1;
         }
         // Hot history but no observed accesses this residency: the
         // incumbent is mid-lifecycle on average, so charge it half
         // its expectation.
-        double rem_idle =
-            0.5 * expCnt(info.m1Owner,
-                         meta.qacAtInsert[info.m1Slot]);
-        if (rem_m2 - rem_idle >=
+        rem_m1 = 0.5 * expCnt(info.m1Owner,
+                              meta.qacAtInsert[info.m1Slot]);
+        if (rem_m2 - rem_m1 >=
             static_cast<double>(params_.minBenefit)) {
-            tally(DecidePath::IdleM1);
-            return policy::Decision::Swap;
+            return DecidePath::IdleM1;
         }
-        tally(DecidePath::Rejected);
-        return policy::Decision::NoSwap;
+        return DecidePath::Rejected;
     }
 
     // (c) both blocks active: individual cost-benefit analysis.
-    double rem_m1 = remaining(info.m1Owner,
-                              meta.qacAtInsert[info.m1Slot], m1_cnt);
-    if (rem_m1 <= 0.0) {
-        tally(DecidePath::Depleted);
-        return policy::Decision::Swap; // (c.i)
+    rem_m1 = remaining(info.m1Owner, meta.qacAtInsert[info.m1Slot],
+                       m1_cnt);
+    if (rem_m1 <= 0.0)
+        return DecidePath::Depleted; // (c.i)
+    if (rem_m2 - rem_m1 >= static_cast<double>(params_.minBenefit))
+        return DecidePath::NetBenefit; // (c.ii)
+    return DecidePath::Rejected;
+}
+
+policy::Decision
+Mdm::decide(const policy::AccessInfo &info, bool treat_vacant) const
+{
+    double rem_m2 = 0.0;
+    double rem_m1 = 0.0;
+    DecidePath path = evaluate(info, treat_vacant, rem_m2, rem_m1);
+    ++pathCounts_[static_cast<unsigned>(path)];
+    bool swap = pathSwaps(path);
+    if (PROFESS_UNLIKELY(trace_ != nullptr)) {
+        telemetry::TraceRecord r;
+        r.tick = info.now;
+        r.group = info.group;
+        r.a = rem_m2;
+        r.b = rem_m1;
+        r.margin = rem_m2 - rem_m1 -
+                   static_cast<double>(params_.minBenefit);
+        r.accessor = info.accessor;
+        r.m1Owner = info.m1Owner;
+        r.detail = static_cast<std::uint32_t>(path);
+        r.kind = static_cast<std::uint8_t>(
+            telemetry::TraceKind::MdmDecide);
+        r.qI = info.meta->qacAtInsert[info.slot];
+        r.swapped = swap ? 1 : 0;
+        trace_->push(r);
     }
-    if (rem_m2 - rem_m1 >= static_cast<double>(params_.minBenefit)) {
-        tally(DecidePath::NetBenefit);
-        return policy::Decision::Swap; // (c.ii)
+    return swap ? policy::Decision::Swap : policy::Decision::NoSwap;
+}
+
+const char *
+Mdm::pathName(DecidePath p)
+{
+    switch (p) {
+      case DecidePath::NoBenefit:
+        return "no_benefit";
+      case DecidePath::Vacant:
+        return "vacant";
+      case DecidePath::IdleM1:
+        return "idle_m1";
+      case DecidePath::Depleted:
+        return "depleted";
+      case DecidePath::NetBenefit:
+        return "net_benefit";
+      case DecidePath::Rejected:
+        return "rejected";
+      default:
+        return "unknown";
     }
-    tally(DecidePath::Rejected);
-    return policy::Decision::NoSwap;
+}
+
+void
+Mdm::registerTelemetry(telemetry::StatRegistry &registry,
+                       const std::string &prefix) const
+{
+    constexpr auto num_paths =
+        static_cast<unsigned>(DecidePath::NumPaths);
+    for (unsigned p = 0; p < num_paths; ++p) {
+        registry.addCounter(
+            prefix + ".path_" +
+                pathName(static_cast<DecidePath>(p)),
+            pathCounts_[p]);
+    }
+    for (unsigned i = 0; i < progs_.size(); ++i) {
+        std::string pp = prefix + ".p" + std::to_string(i);
+        auto id = static_cast<ProgramId>(i);
+        registry.addProbe(pp + ".updates", [this, id]() {
+            return static_cast<double>(updates(id));
+        });
+        for (unsigned q = 0; q < numQacValues; ++q) {
+            registry.addProbe(
+                pp + ".exp_cnt_q" + std::to_string(q),
+                [this, id, q]() {
+                    return expCnt(id,
+                                  static_cast<std::uint8_t>(q));
+                });
+        }
+    }
 }
 
 std::uint64_t

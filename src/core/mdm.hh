@@ -27,6 +27,7 @@
 #define PROFESS_CORE_MDM_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/types.hh"
@@ -34,6 +35,12 @@
 
 namespace profess
 {
+
+namespace telemetry
+{
+class StatRegistry;
+class DecisionTraceSink;
+} // namespace telemetry
 
 namespace core
 {
@@ -127,6 +134,29 @@ class Mdm
         return pathCounts_[static_cast<unsigned>(p)];
     }
 
+    /** @return whether a path results in Decision::Swap. */
+    static bool
+    pathSwaps(DecidePath p)
+    {
+        return p == DecidePath::Vacant || p == DecidePath::IdleM1 ||
+               p == DecidePath::Depleted ||
+               p == DecidePath::NetBenefit;
+    }
+
+    /** @return short stable name of a decision path. */
+    static const char *pathName(DecidePath p);
+
+    /** Record every decide() evaluation into `sink` (null = off). */
+    void
+    setTraceSink(telemetry::DecisionTraceSink *sink)
+    {
+        trace_ = sink;
+    }
+
+    /** Register path counters and per-program probes. */
+    void registerTelemetry(telemetry::StatRegistry &registry,
+                           const std::string &prefix) const;
+
     /** @return min_benefit in force. */
     unsigned minBenefit() const { return params_.minBenefit; }
 
@@ -158,12 +188,26 @@ class Mdm
         bool observing = true;
     };
 
+    /**
+     * The decision logic proper: classify the access into a
+     * DecidePath (which fully determines the decision) and report
+     * the predictions that drove it.
+     *
+     * @param rem_m2 Out: predicted remaining accesses, M2 block.
+     * @param rem_m1 Out: charged remaining accesses of the M1
+     *        incumbent (0 when no prediction was consulted).
+     */
+    DecidePath evaluate(const policy::AccessInfo &info,
+                        bool treat_vacant, double &rem_m2,
+                        double &rem_m1) const;
+
     void recompute(ProgState &st) const;
     ProgState &state(ProgramId p);
     const ProgState &state(ProgramId p) const;
 
     Params params_;
     std::vector<ProgState> progs_;
+    telemetry::DecisionTraceSink *trace_ = nullptr;
     mutable std::uint64_t
         pathCounts_[static_cast<unsigned>(DecidePath::NumPaths)] = {};
 };

@@ -62,6 +62,19 @@ class MdmPolicy : public policy::MigrationPolicy
     Mdm &engine() { return mdm_; }
     const Mdm &engine() const { return mdm_; }
 
+    void
+    setTraceSink(telemetry::DecisionTraceSink *sink) override
+    {
+        mdm_.setTraceSink(sink);
+    }
+
+    void
+    registerTelemetry(telemetry::StatRegistry &registry,
+                      const std::string &prefix) override
+    {
+        mdm_.registerTelemetry(registry, prefix + ".mdm");
+    }
+
   private:
     const hybrid::HybridLayout &layout_;
     const os::BlockOwnerOracle &oracle_;

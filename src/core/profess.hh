@@ -65,7 +65,8 @@ class ProfessPolicy : public policy::MigrationPolicy
     void
     onServed(const policy::AccessInfo &info) override
     {
-        rsm_.onServed(info.accessor, info.region, info.fromM1);
+        rsm_.onServed(info.accessor, info.region, info.fromM1,
+                      info.now);
     }
 
     void
@@ -111,12 +112,23 @@ class ProfessPolicy : public policy::MigrationPolicy
         return caseCounts_[static_cast<unsigned>(c)];
     }
 
+    /** @return short stable name of a Table 7 case. */
+    static const char *caseName(GuidanceCase c);
+
+    /** Trace guidance cases + MDM decisions + RSM periods. */
+    void setTraceSink(telemetry::DecisionTraceSink *sink) override;
+
+    /** Register RSM/MDM/guidance statistics under `prefix`. */
+    void registerTelemetry(telemetry::StatRegistry &registry,
+                           const std::string &prefix) override;
+
   private:
     const hybrid::HybridLayout &layout_;
     const os::BlockOwnerOracle &oracle_;
     Params params_;
     Mdm mdm_;
     Rsm rsm_;
+    telemetry::DecisionTraceSink *trace_ = nullptr;
     std::uint64_t caseCounts_[5] = {};
 };
 

@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/telemetry.hh"
+#include "common/trace_sink.hh"
 
 namespace profess
 {
@@ -41,7 +43,7 @@ Rsm::state(ProgramId p) const
 }
 
 void
-Rsm::onServed(ProgramId p, unsigned region, bool from_m1)
+Rsm::onServed(ProgramId p, unsigned region, bool from_m1, Tick now)
 {
     ProgState &st = state(p);
     if (region == static_cast<unsigned>(p)) {
@@ -63,7 +65,7 @@ Rsm::onServed(ProgramId p, unsigned region, bool from_m1)
         ++st.perRegion[region];
 
     if (++st.periodServed >= params_.sampleRequests)
-        endPeriod(st);
+        endPeriod(p, st, now);
 }
 
 void
@@ -86,7 +88,7 @@ Rsm::onSwap(ProgramId owner_promoted, ProgramId owner_demoted,
 }
 
 void
-Rsm::endPeriod(ProgState &st)
+Rsm::endPeriod(ProgramId p, ProgState &st, Tick now)
 {
     // Exponential smoothing of the counters, each incremented by one
     // to avoid zeros (Sec. 3.1.3).
@@ -129,6 +131,35 @@ Rsm::endPeriod(ProgState &st)
     st.swapSelf = st.swapTotal = 0;
     st.periodServed = 0;
     ++st.periodCount;
+
+    if (PROFESS_UNLIKELY(trace_ != nullptr)) {
+        telemetry::TraceRecord r;
+        r.tick = now;
+        r.a = st.sfA;
+        r.b = st.sfB;
+        r.accessor = p;
+        r.detail = static_cast<std::uint32_t>(st.periodCount);
+        r.kind = static_cast<std::uint8_t>(
+            telemetry::TraceKind::RsmPeriod);
+        trace_->push(r);
+    }
+}
+
+void
+Rsm::registerTelemetry(telemetry::StatRegistry &registry,
+                       const std::string &prefix) const
+{
+    for (unsigned i = 0; i < progs_.size(); ++i) {
+        std::string pp = prefix + ".p" + std::to_string(i);
+        auto id = static_cast<ProgramId>(i);
+        registry.addProbe(pp + ".sf_a",
+                          [this, id]() { return sfA(id); });
+        registry.addProbe(pp + ".sf_b",
+                          [this, id]() { return sfB(id); });
+        registry.addProbe(pp + ".periods", [this, id]() {
+            return static_cast<double>(periods(id));
+        });
+    }
 }
 
 double

@@ -23,6 +23,7 @@
 #define PROFESS_CORE_RSM_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/stats.hh"
@@ -30,6 +31,12 @@
 
 namespace profess
 {
+
+namespace telemetry
+{
+class StatRegistry;
+class DecisionTraceSink;
+} // namespace telemetry
 
 namespace core
 {
@@ -63,8 +70,11 @@ class Rsm
      * @param p Program.
      * @param region RSM region of the accessed swap group.
      * @param from_m1 Served from M1.
+     * @param now Current tick (only stamps trace records; the
+     *        mechanism itself is clockless).
      */
-    void onServed(ProgramId p, unsigned region, bool from_m1);
+    void onServed(ProgramId p, unsigned region, bool from_m1,
+                  Tick now = 0);
 
     /**
      * Account one swap (Table 3 swap counters).
@@ -92,6 +102,17 @@ class Rsm
     /** @return the configuration. */
     const Params &params() const { return params_; }
 
+    /** Record period rollovers into `sink` (null = off). */
+    void
+    setTraceSink(telemetry::DecisionTraceSink *sink)
+    {
+        trace_ = sink;
+    }
+
+    /** Register per-program SF_A/SF_B/period probes. */
+    void registerTelemetry(telemetry::StatRegistry &registry,
+                           const std::string &prefix) const;
+
   private:
     /** Per-program counters (Table 3) and smoothers. */
     struct ProgState
@@ -107,12 +128,13 @@ class Rsm
         std::vector<PeriodSample> hist;
     };
 
-    void endPeriod(ProgState &st);
+    void endPeriod(ProgramId p, ProgState &st, Tick now);
     ProgState &state(ProgramId p);
     const ProgState &state(ProgramId p) const;
 
     Params params_;
     std::vector<ProgState> progs_;
+    telemetry::DecisionTraceSink *trace_ = nullptr;
 };
 
 } // namespace core

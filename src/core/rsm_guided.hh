@@ -95,7 +95,8 @@ class RsmGuidedPolicy : public policy::MigrationPolicy
     void
     onServed(const policy::AccessInfo &info) override
     {
-        rsm_.onServed(info.accessor, info.region, info.fromM1);
+        rsm_.onServed(info.accessor, info.region, info.fromM1,
+                      info.now);
         inner_->onServed(info);
     }
 
@@ -133,6 +134,21 @@ class RsmGuidedPolicy : public policy::MigrationPolicy
 
     /** @return the RSM sub-component. */
     Rsm &rsm() { return rsm_; }
+
+    void
+    setTraceSink(telemetry::DecisionTraceSink *sink) override
+    {
+        rsm_.setTraceSink(sink);
+        inner_->setTraceSink(sink);
+    }
+
+    void
+    registerTelemetry(telemetry::StatRegistry &registry,
+                      const std::string &prefix) override
+    {
+        rsm_.registerTelemetry(registry, prefix + ".rsm");
+        inner_->registerTelemetry(registry, prefix + ".inner");
+    }
 
   private:
     std::unique_ptr<policy::MigrationPolicy> inner_;

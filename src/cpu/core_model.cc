@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/telemetry.hh"
 
 namespace profess
 {
@@ -161,6 +162,18 @@ CoreModel::advance()
             });
         }
     }
+}
+
+void
+CoreModel::registerTelemetry(telemetry::StatRegistry &registry,
+                             const std::string &prefix) const
+{
+    registry.addCounter(prefix + ".retired", instrCount_);
+    registry.addCounter(prefix + ".mem_reads", memReads_);
+    registry.addCounter(prefix + ".mem_writes", memWrites_);
+    registry.addProbe(prefix + ".outstanding", [this]() {
+        return static_cast<double>(outstanding_.size());
+    });
 }
 
 } // namespace cpu

@@ -19,6 +19,7 @@
 #define PROFESS_CPU_CORE_MODEL_HH
 
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "common/event.hh"
@@ -28,6 +29,11 @@
 
 namespace profess
 {
+
+namespace telemetry
+{
+class StatRegistry;
+} // namespace telemetry
 
 namespace cpu
 {
@@ -126,6 +132,10 @@ class CoreModel
     void halt() { halted_ = true; }
 
     const CoreParams &params() const { return params_; }
+
+    /** Register retired/read/write progress probes under `prefix`. */
+    void registerTelemetry(telemetry::StatRegistry &registry,
+                           const std::string &prefix) const;
 
   private:
     void advance();

@@ -2,6 +2,9 @@
 
 #include <cstring>
 
+#include "common/telemetry.hh"
+#include "common/trace_sink.hh"
+
 namespace profess
 {
 
@@ -68,6 +71,7 @@ void
 HybridController::access(ProgramId program, Addr original_addr,
                          bool is_write, InlineCallback done)
 {
+    telemetry::ScopedTimer span(accessTimer_);
     panic_if(program < 0 || static_cast<unsigned>(program) >=
                                 params_.numPrograms,
              "bad program id %d", program);
@@ -168,6 +172,10 @@ HybridController::startFill(std::uint64_t group, PendingAccess *pa)
         return;
     gi.fillInFlight = true;
     ++ctrStFills_;
+    if (PROFESS_UNLIKELY(chrome_ != nullptr)) {
+        chrome_->instant("st_fill", "hybrid", eq_.now(),
+                         layout_.channelOf(group));
+    }
 
     if (!params_.modelStTraffic) {
         eq_.scheduleIn(0, [this, group]() { finishFill(group); });
@@ -258,6 +266,24 @@ HybridController::startSwap(std::uint64_t group,
     panic_if(loc == 0, "promoting a block already in M1");
 
     GroupInfo &gi = groups_[group];
+    if (PROFESS_UNLIKELY(chrome_ != nullptr)) {
+        // Profiled variant: span from request to completion (sim
+        // ticks), one track per channel.
+        Tick begin = eq_.now();
+        unsigned tid = layout_.channelOf(group);
+        gi.chan->executeSwap(
+            gi.m1Addr, gi.m1Addr + (loc - 1) * m2Stride_,
+            layout_.blockBytes,
+            [this, group, promote_slot, m1_slot, begin, tid]() {
+                finishSwap(group, promote_slot, m1_slot);
+                if (chrome_ != nullptr) {
+                    chrome_->complete("swap", "hybrid", begin,
+                                      eq_.now() - begin, tid);
+                }
+            },
+            policy_.slowSwap());
+        return;
+    }
     gi.chan->executeSwap(
         gi.m1Addr, gi.m1Addr + (loc - 1) * m2Stride_,
         layout_.blockBytes,
@@ -408,6 +434,25 @@ HybridController::programStats(ProgramId p) const
                  static_cast<unsigned>(p) >= perProgram_.size(),
              "bad program id %d", p);
     return perProgram_[static_cast<unsigned>(p)];
+}
+
+void
+HybridController::registerTelemetry(
+    telemetry::StatRegistry &registry, const std::string &prefix)
+{
+    registry.addSet(prefix, stats_);
+    registry.addCounter(prefix + ".swaps", swaps_);
+    stc_.registerTelemetry(registry, prefix + ".stc");
+    for (unsigned i = 0; i < perProgram_.size(); ++i) {
+        std::string pp = prefix + ".p" + std::to_string(i);
+        const ProgramStats &ps = perProgram_[i];
+        registry.addCounter(pp + ".served", ps.served);
+        registry.addCounter(pp + ".served_from_m1", ps.servedFromM1);
+        registry.addCounter(pp + ".reads", ps.reads);
+        registry.addCounter(pp + ".writes", ps.writes);
+    }
+    policy_.registerTelemetry(registry,
+                              std::string("policy.") + policy_.name());
 }
 
 } // namespace hybrid

@@ -28,6 +28,7 @@
 #ifndef PROFESS_HYBRID_HYBRID_CONTROLLER_HH
 #define PROFESS_HYBRID_HYBRID_CONTROLLER_HH
 
+#include <string>
 #include <vector>
 
 #include "common/event.hh"
@@ -44,6 +45,13 @@
 
 namespace profess
 {
+
+namespace telemetry
+{
+class StatRegistry;
+class ChromeTraceSink;
+struct TimerSlot;
+} // namespace telemetry
 
 namespace hybrid
 {
@@ -143,6 +151,23 @@ class HybridController : public policy::SwapHost
      * policy state are untouched.  Used at the warm-up boundary.
      */
     void resetStats();
+
+    /** Register controller + STC + per-program statistics under
+     *  `prefix` ("hybrid"); forwards to the migration policy. */
+    void registerTelemetry(telemetry::StatRegistry &registry,
+                           const std::string &prefix);
+
+    /** Emit swap/fill spans to a Chrome trace (null disables). */
+    void setChromeTrace(telemetry::ChromeTraceSink *sink)
+    {
+        chrome_ = sink;
+    }
+
+    /** Wall-clock profile the access path (null disables). */
+    void setAccessTimer(telemetry::TimerSlot *slot)
+    {
+        accessTimer_ = slot;
+    }
 
   private:
     /** One access waiting for translation or a swap (pooled). */
@@ -252,6 +277,8 @@ class HybridController : public policy::SwapHost
     bool foldEnabled_ = false;
     StatSet stats_;
     std::uint64_t &ctrStFills_;
+    telemetry::ChromeTraceSink *chrome_ = nullptr;
+    telemetry::TimerSlot *accessTimer_ = nullptr;
 };
 
 } // namespace hybrid

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "common/telemetry.hh"
+
 namespace profess
 {
 
@@ -100,6 +102,16 @@ StCache::insert(std::uint64_t group, const std::uint8_t *current_qac,
     std::memcpy(victim->meta.qacAtInsert, current_qac,
                 sizeof(victim->meta.qacAtInsert));
     return true;
+}
+
+void
+StCache::registerTelemetry(telemetry::StatRegistry &registry,
+                           const std::string &prefix) const
+{
+    registry.addCounter(prefix + ".hits", hits_);
+    registry.addCounter(prefix + ".misses", misses_);
+    registry.addProbe(prefix + ".hit_rate",
+                      [this]() { return hitRate(); });
 }
 
 } // namespace hybrid

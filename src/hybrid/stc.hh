@@ -18,6 +18,7 @@
 #define PROFESS_HYBRID_STC_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/logging.hh"
@@ -27,6 +28,11 @@
 
 namespace profess
 {
+
+namespace telemetry
+{
+class StatRegistry;
+} // namespace telemetry
 
 namespace hybrid
 {
@@ -166,6 +172,10 @@ class StCache
                 fn(w.group, w.meta);
         }
     }
+
+    /** Register hit/miss counters and hit rate under `prefix`. */
+    void registerTelemetry(telemetry::StatRegistry &registry,
+                           const std::string &prefix) const;
 
     /** @return hit rate in [0,1] (1 if no lookups). */
     double

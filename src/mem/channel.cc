@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/telemetry.hh"
+
 namespace profess
 {
 
@@ -272,6 +274,7 @@ Channel::maybeStartSwap()
 void
 Channel::trySchedule()
 {
+    telemetry::ScopedTimer span(schedTimer_);
     Tick now = eq_.now();
     applyRefresh(now);
     if (now < swapEndTick_) {
@@ -301,6 +304,22 @@ Channel::trySchedule()
         ++inflight_;
         commit(std::move(r));
     }
+}
+
+void
+Channel::registerTelemetry(telemetry::StatRegistry &registry,
+                           const std::string &prefix) const
+{
+    registry.addSet(prefix, stats_);
+    registry.addProbe(prefix + ".read_queue", [this]() {
+        return static_cast<double>(readQueueSize());
+    });
+    registry.addProbe(prefix + ".write_queue", [this]() {
+        return static_cast<double>(writeQueueSize());
+    });
+    registry.addProbe(prefix + ".read_latency_avg", [this]() {
+        return readLat_.mean();
+    });
 }
 
 } // namespace mem

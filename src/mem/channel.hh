@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/event.hh"
@@ -36,6 +37,12 @@
 
 namespace profess
 {
+
+namespace telemetry
+{
+class StatRegistry;
+struct TimerSlot;
+} // namespace telemetry
 
 namespace mem
 {
@@ -110,6 +117,17 @@ class Channel
 
     /** Statistics of this channel. */
     const StatSet &stats() const { return stats_; }
+
+    /** Register all channel statistics plus live queue-depth probes
+     *  under `prefix` ("mem.ch0"). */
+    void registerTelemetry(telemetry::StatRegistry &registry,
+                           const std::string &prefix) const;
+
+    /** Wall-clock profile the scheduler hot path (null disables). */
+    void setSchedulerTimer(telemetry::TimerSlot *slot)
+    {
+        schedTimer_ = slot;
+    }
 
     /** Demand-read latency distribution (MC cycles). */
     const RunningStat &readLatency() const { return readLat_; }
@@ -224,6 +242,7 @@ class Channel
     StatSet stats_;
     RunningStat readLat_;
     EnergyAccount energy_;
+    telemetry::TimerSlot *schedTimer_ = nullptr;
 
     // Hot-path counters resolved once (StatSet::counterRef); refs
     // stay valid across resetStats() because reset() zeroes in

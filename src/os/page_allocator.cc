@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/telemetry.hh"
 
 namespace profess
 {
@@ -175,6 +176,15 @@ PageAllocator::ownerOfBlock(std::uint64_t original_block) const
     panic_if(frame >= numFrames_, "block %llu out of range",
              static_cast<unsigned long long>(original_block));
     return owner_[frame];
+}
+
+void
+PageAllocator::registerTelemetry(telemetry::StatRegistry &registry,
+                                 const std::string &prefix) const
+{
+    registry.addSet(prefix, stats_);
+    registry.addProbe(prefix + ".cache_hit_rate",
+                      [this]() { return cacheHitRate(); });
 }
 
 } // namespace os

@@ -20,6 +20,7 @@
 #define PROFESS_OS_PAGE_ALLOCATOR_HH
 
 #include <cstdint>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -29,6 +30,11 @@
 
 namespace profess
 {
+
+namespace telemetry
+{
+class StatRegistry;
+} // namespace telemetry
 
 namespace os
 {
@@ -117,6 +123,10 @@ class PageAllocator : public BlockOwnerOracle
                    : static_cast<double>(ctrCacheHits_) /
                          static_cast<double>(ctrTranslations_);
     }
+
+    /** Register translation counters and hit rate under `prefix`. */
+    void registerTelemetry(telemetry::StatRegistry &registry,
+                           const std::string &prefix) const;
 
     // BlockOwnerOracle
     ProgramId ownerOfBlock(std::uint64_t original_block) const override;

@@ -19,6 +19,7 @@
 #define PROFESS_POLICY_POLICY_HH
 
 #include <cstdint>
+#include <string>
 
 #include "common/types.hh"
 #include "hybrid/st.hh"
@@ -26,6 +27,12 @@
 
 namespace profess
 {
+
+namespace telemetry
+{
+class StatRegistry;
+class DecisionTraceSink;
+} // namespace telemetry
 
 namespace policy
 {
@@ -154,6 +161,29 @@ class MigrationPolicy
 
     /** Periodic callback (MemPod's interval migrations). */
     virtual void onPeriodic() {}
+
+    /**
+     * Register the policy's statistics under a dotted prefix.
+     * Default: nothing (policies expose stats opt-in).
+     */
+    virtual void
+    registerTelemetry(telemetry::StatRegistry &registry,
+                      const std::string &prefix)
+    {
+        (void)registry;
+        (void)prefix;
+    }
+
+    /**
+     * Attach (or detach, with nullptr) a decision-trace sink.
+     * Policies that trace their decisions forward the pointer to
+     * their sub-components; the default ignores it.
+     */
+    virtual void
+    setTraceSink(telemetry::DecisionTraceSink *sink)
+    {
+        (void)sink;
+    }
 
   protected:
     SwapHost *host_ = nullptr;

@@ -5,6 +5,7 @@
 #include <cstdlib>
 
 #include "common/rng.hh"
+#include "sim/run_telemetry.hh"
 
 namespace profess
 {
@@ -133,7 +134,8 @@ ExperimentRunner::instrFromEnv(std::uint64_t def)
 RunResult
 ExperimentRunner::run(const std::string &policy,
                       const std::vector<std::string> &programs,
-                      std::uint64_t seed_base)
+                      std::uint64_t seed_base,
+                      const std::string &label)
 {
     std::vector<std::unique_ptr<trace::TraceSource>> sources;
     sources.reserve(programs.size());
@@ -144,6 +146,18 @@ ExperimentRunner::run(const std::string &policy,
     }
 
     System sys(base_, policy, std::move(sources));
+
+    // Telemetry is observational only: the bundle is attached after
+    // construction and never feeds back into the simulation, so
+    // labelled runs stay bit-identical to clean ones.
+    std::unique_ptr<RunTelemetry> telemetry;
+    const TelemetryConfig &tc = TelemetryConfig::global();
+    if (!label.empty() && tc.enabled()) {
+        telemetry = std::make_unique<RunTelemetry>(
+            tc, label + "_" + policy);
+        sys.attachTelemetry(*telemetry);
+    }
+
     RunResult r;
     r.policy = policy;
     r.programs = programs;
@@ -207,6 +221,14 @@ ExperimentRunner::run(const std::string &policy,
             ? static_cast<double>(row_hits) /
                   static_cast<double>(row_hits + row_misses)
             : 0.0;
+
+    if (telemetry != nullptr) {
+        std::string workload;
+        for (const auto &p : programs)
+            workload += (workload.empty() ? "" : "+") + p;
+        telemetry->finish(policy, workload, seed_base,
+                          configJson(base_), r.completed);
+    }
     return r;
 }
 
@@ -245,7 +267,7 @@ ExperimentRunner::runMulti(const std::string &policy,
     std::vector<std::string> programs(workload.programs.begin(),
                                       workload.programs.end());
     MultiMetrics m;
-    m.run = run(policy, programs, seed_base);
+    m.run = run(policy, programs, seed_base, workload.name);
     for (const auto &p : programs)
         m.aloneIpc.push_back(aloneIpc(policy, p));
     m.slowdown = slowdowns(m.aloneIpc, m.run.ipc);

@@ -153,10 +153,16 @@ class ExperimentRunner
      * @param policy Policy name (see System).
      * @param programs Table 9 benchmark names, one per core.
      * @param seed_base Base RNG seed (slot index is mixed in).
+     * @param label Telemetry label; when non-empty and telemetry is
+     *        enabled (TelemetryConfig::global()), the run attaches a
+     *        RunTelemetry bundle named "<label>_<policy>".
+     *        Stand-alone reference runs pass no label and always run
+     *        without telemetry.  Telemetry never changes results.
      */
     RunResult run(const std::string &policy,
                   const std::vector<std::string> &programs,
-                  std::uint64_t seed_base = 1);
+                  std::uint64_t seed_base = 1,
+                  const std::string &label = "");
 
     /**
      * Stand-alone IPC of a program under a policy on the base

@@ -123,8 +123,12 @@ ParallelRunner::runOne(const RunJob &job)
         job.seed != 0 ? job.seed
                       : deriveSeed(job.baseSeed, job.policy, label,
                                    job.sweepPoint);
+    // Telemetry label: distinguish sweep points sharing a mix.
+    std::string tlabel = label;
+    if (job.sweepPoint != 0)
+        tlabel += "_s" + std::to_string(job.sweepPoint);
     MultiMetrics m;
-    m.run = runner.run(job.policy, job.programs, seed);
+    m.run = runner.run(job.policy, job.programs, seed, tlabel);
     if (job.slowdowns) {
         // Stand-alone references use their own fixed per-(config,
         // policy, program) seeds so every mix and sweep point that

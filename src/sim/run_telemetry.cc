@@ -1,0 +1,270 @@
+#include "sim/run_telemetry.hh"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include "common/logging.hh"
+#include "sim/system.hh"
+
+namespace profess
+{
+
+namespace sim
+{
+
+namespace
+{
+
+/** mkdir -p for the shallow DIR/<label> layout used here. */
+void
+makeDirs(const std::string &path)
+{
+    std::string partial;
+    for (std::size_t i = 0; i <= path.size(); ++i) {
+        if (i == path.size() || path[i] == '/') {
+            if (!partial.empty() && partial != ".") {
+                if (::mkdir(partial.c_str(), 0777) != 0 &&
+                    errno != EEXIST) {
+                    fatal("cannot create directory '%s': %s",
+                          partial.c_str(), std::strerror(errno));
+                }
+            }
+        }
+        if (i < path.size())
+            partial += path[i];
+    }
+}
+
+std::FILE *
+openOut(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        warn("cannot open telemetry output '%s': %s", path.c_str(),
+             std::strerror(errno));
+    }
+    return f;
+}
+
+} // anonymous namespace
+
+void
+TelemetryConfig::initFromEnv()
+{
+    const char *t = std::getenv("PROFESS_TRACE");
+    if (t != nullptr && *t != '\0' && std::strcmp(t, "0") != 0)
+        trace = true;
+    const char *d = std::getenv("PROFESS_TELEMETRY_OUT");
+    if (d != nullptr && *d != '\0')
+        outDir = d;
+    const char *e = std::getenv("PROFESS_EPOCH_TICKS");
+    if (e != nullptr && *e != '\0') {
+        char *end = nullptr;
+        unsigned long long v = std::strtoull(e, &end, 0);
+        fatal_if(end == e || *end != '\0' || v == 0,
+                 "PROFESS_EPOCH_TICKS='%s' is not a positive "
+                 "integer",
+                 e);
+        epochInterval = static_cast<Tick>(v);
+    }
+}
+
+void
+TelemetryConfig::initFromArgs(int &argc, char **argv)
+{
+    initFromEnv();
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        if (std::strcmp(a, "--trace") == 0) {
+            trace = true;
+            continue;
+        }
+        if (std::strcmp(a, "--telemetry-out") == 0) {
+            fatal_if(i + 1 >= argc, "--telemetry-out needs a value");
+            outDir = argv[++i];
+            continue;
+        }
+        if (std::strncmp(a, "--telemetry-out=", 16) == 0) {
+            outDir = a + 16;
+            continue;
+        }
+        if (std::strcmp(a, "--epoch-ticks") == 0 ||
+            std::strncmp(a, "--epoch-ticks=", 14) == 0) {
+            const char *val;
+            if (a[13] == '=') {
+                val = a + 14;
+            } else {
+                fatal_if(i + 1 >= argc, "--epoch-ticks needs a value");
+                val = argv[++i];
+            }
+            char *end = nullptr;
+            unsigned long long v = std::strtoull(val, &end, 0);
+            fatal_if(end == val || *end != '\0' || v == 0,
+                     "--epoch-ticks '%s' is not a positive integer",
+                     val);
+            epochInterval = static_cast<Tick>(v);
+            continue;
+        }
+        argv[out++] = argv[i];
+    }
+    argc = out;
+    argv[argc] = nullptr;
+}
+
+TelemetryConfig &
+TelemetryConfig::global()
+{
+    static TelemetryConfig cfg;
+    return cfg;
+}
+
+std::string
+sanitizeLabel(const std::string &label)
+{
+    std::string s;
+    s.reserve(label.size());
+    for (char c : label) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                  c == '-';
+        s += ok ? c : '_';
+    }
+    return s.empty() ? std::string("run") : s;
+}
+
+RunTelemetry::RunTelemetry(const TelemetryConfig &cfg,
+                           const std::string &label)
+    : cfg_(cfg), label_(label),
+      wallStart_(std::chrono::steady_clock::now()),
+      startedIso_(telemetry::utcNowIso())
+{
+    if (cfg_.trace) {
+        decision_ =
+            std::make_unique<telemetry::DecisionTraceSink>();
+        chrome_ = std::make_unique<telemetry::ChromeTraceSink>();
+    }
+    if (!cfg_.outDir.empty()) {
+        dir_ = cfg_.outDir + "/" + sanitizeLabel(label_);
+        makeDirs(dir_);
+    }
+}
+
+RunTelemetry::~RunTelemetry()
+{
+    if (epochsFile_ != nullptr)
+        std::fclose(epochsFile_);
+}
+
+void
+RunTelemetry::startSampler(EventQueue &eq)
+{
+    if (sampler_ == nullptr) {
+        sampler_ = std::make_unique<telemetry::EpochSampler>(
+            registry_, cfg_.epochInterval);
+        if (!dir_.empty()) {
+            epochsFile_ = openOut(dir_ + "/epochs.jsonl");
+            sampler_->setOutput(epochsFile_);
+        }
+    }
+    sampler_->start(eq);
+}
+
+void
+RunTelemetry::stopSampler()
+{
+    if (sampler_ != nullptr)
+        sampler_->stop();
+}
+
+void
+RunTelemetry::finish(const std::string &policy,
+                     const std::string &workload, std::uint64_t seed,
+                     const std::string &config_json, bool completed)
+{
+    if (epochsFile_ != nullptr)
+        std::fflush(epochsFile_);
+    if (dir_.empty())
+        return;
+
+    telemetry::RunManifest m;
+    m.label = label_;
+    m.policy = policy;
+    m.workload = workload;
+    m.seed = seed;
+    m.gitSha = telemetry::gitHeadSha();
+    m.config = config_json;
+    m.wallSeconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - wallStart_)
+            .count();
+    m.peakRssKb = telemetry::peakRssKb();
+    m.startedIso = startedIso_;
+    if (std::FILE *f = openOut(dir_ + "/manifest.json")) {
+        m.write(f);
+        std::fclose(f);
+    }
+    if (std::FILE *f = openOut(dir_ + "/stats.json")) {
+        std::fprintf(f, "{\"completed\": %s, \"stats\": ",
+                     completed ? "true" : "false");
+        registry_.dumpJson(f);
+        std::fprintf(f, "}\n");
+        std::fclose(f);
+    }
+    if (decision_ != nullptr) {
+        if (std::FILE *f = openOut(dir_ + "/decisions.jsonl")) {
+            decision_->flushJsonl(f);
+            std::fclose(f);
+        }
+    }
+    if (chrome_ != nullptr) {
+        if (std::FILE *f = openOut(dir_ + "/trace.json")) {
+            chrome_->writeJson(
+                f, {{"controller.access", &accessSlot_},
+                    {"channel.schedule", &schedSlot_}});
+            std::fclose(f);
+        }
+    }
+}
+
+std::string
+configJson(const SystemConfig &cfg)
+{
+    char buf[1024];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\"num_channels\": %u, \"m1_bytes_per_channel\": %llu, "
+        "\"m2_bytes_per_channel\": %llu, \"slots_per_group\": %u, "
+        "\"num_regions\": %u, \"m2_write_scale\": %.17g, "
+        "\"stc_capacity_bytes\": %llu, \"stc_ways\": %u, "
+        "\"core_width\": %u, \"rob_size\": %u, "
+        "\"max_outstanding\": %u, \"instr_quota\": %llu, "
+        "\"warmup_instr\": %llu, \"model_st_traffic\": %s, "
+        "\"msamp\": %llu, \"stats_fold_interval\": %llu, "
+        "\"factor_threshold\": %.17g, \"product_threshold\": %.17g, "
+        "\"min_benefit\": %u, \"alloc_seed\": %llu}",
+        cfg.numChannels,
+        static_cast<unsigned long long>(cfg.m1BytesPerChannel),
+        static_cast<unsigned long long>(cfg.m2BytesPerChannel),
+        cfg.slotsPerGroup, cfg.numRegions, cfg.m2WriteScale,
+        static_cast<unsigned long long>(cfg.stc.capacityBytes),
+        cfg.stc.ways, cfg.core.width, cfg.core.robSize,
+        cfg.core.maxOutstanding,
+        static_cast<unsigned long long>(cfg.core.instrQuota),
+        static_cast<unsigned long long>(cfg.core.warmupInstr),
+        cfg.modelStTraffic ? "true" : "false",
+        static_cast<unsigned long long>(cfg.msamp),
+        static_cast<unsigned long long>(cfg.statsFoldInterval),
+        cfg.professFactorThreshold, cfg.professProductThreshold,
+        cfg.minBenefit,
+        static_cast<unsigned long long>(cfg.allocSeed));
+    return buf;
+}
+
+} // namespace sim
+
+} // namespace profess

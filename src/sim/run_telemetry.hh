@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Per-run telemetry bundle and its process-wide configuration.
+ *
+ * TelemetryConfig - one process-wide switchboard filled from the
+ *                   environment (PROFESS_TRACE, PROFESS_TELEMETRY_OUT,
+ *                   PROFESS_EPOCH_TICKS) and/or the command line
+ *                   (--trace, --telemetry-out DIR, --epoch-ticks N).
+ *                   Telemetry stays entirely outside SystemConfig so
+ *                   enabling it can never change a config fingerprint
+ *                   or a derived seed.
+ * RunTelemetry    - everything one labelled run owns: the stat
+ *                   registry, the decision/chrome trace sinks, the
+ *                   epoch sampler and the hot-path timer slots.  When
+ *                   an output directory is configured it materializes
+ *                   DIR/<label>/{manifest.json, stats.json,
+ *                   epochs.jsonl, decisions.jsonl, trace.json}.
+ *
+ * Attachment point: System::attachTelemetry() registers every
+ * component and forwards the sinks; ExperimentRunner::run() creates
+ * the bundle for labelled runs only (stand-alone IPC_SP reference
+ * runs have no label and always run clean).
+ */
+
+#ifndef PROFESS_SIM_RUN_TELEMETRY_HH
+#define PROFESS_SIM_RUN_TELEMETRY_HH
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "common/telemetry.hh"
+#include "common/trace_sink.hh"
+#include "common/types.hh"
+
+namespace profess
+{
+
+class EventQueue;
+
+namespace sim
+{
+
+struct SystemConfig;
+
+/** Process-wide telemetry switchboard (see file comment). */
+struct TelemetryConfig
+{
+    bool trace = false;      ///< decision + chrome tracing
+    std::string outDir;      ///< run-artifact directory ("" = none)
+    Tick epochInterval = 25000; ///< epoch sampler period in ticks
+
+    /** @return true if any telemetry consumer is active. */
+    bool enabled() const { return trace || !outDir.empty(); }
+
+    /** Read PROFESS_TRACE / PROFESS_TELEMETRY_OUT /
+     *  PROFESS_EPOCH_TICKS. */
+    void initFromEnv();
+
+    /**
+     * Read the environment, then strip and apply --trace,
+     * --telemetry-out DIR and --epoch-ticks N (also the --opt=value
+     * spellings) from argv, compacting it in place.
+     */
+    void initFromArgs(int &argc, char **argv);
+
+    /** The process-wide instance used by the experiment layer. */
+    static TelemetryConfig &global();
+};
+
+/** Telemetry state of one labelled run. */
+class RunTelemetry
+{
+  public:
+    /**
+     * @param cfg Configuration in force (copied).
+     * @param label Run identity; becomes the artifact subdirectory
+     *        (sanitized) and the manifest label.
+     */
+    RunTelemetry(const TelemetryConfig &cfg, const std::string &label);
+    ~RunTelemetry();
+
+    RunTelemetry(const RunTelemetry &) = delete;
+    RunTelemetry &operator=(const RunTelemetry &) = delete;
+
+    /** @return the registry components register into. */
+    telemetry::StatRegistry &registry() { return registry_; }
+
+    /** @return decision-trace sink, or null when tracing is off. */
+    telemetry::DecisionTraceSink *decisionSink()
+    {
+        return decision_.get();
+    }
+
+    /** @return chrome-trace sink, or null when tracing is off. */
+    telemetry::ChromeTraceSink *chromeSink() { return chrome_.get(); }
+
+    /** @return wall-clock slot for the controller access path. */
+    telemetry::TimerSlot *accessTimer() { return &accessSlot_; }
+
+    /** @return wall-clock slot for the channel scheduler. */
+    telemetry::TimerSlot *schedulerTimer() { return &schedSlot_; }
+
+    /**
+     * Start the epoch sampler on the event queue (samples every
+     * registered entry; opens epochs.jsonl when an output directory
+     * is configured).  Call after all components registered.
+     */
+    void startSampler(EventQueue &eq);
+
+    /** Stop the epoch sampler. */
+    void stopSampler();
+
+    /** @return the sampler, or null before startSampler(). */
+    telemetry::EpochSampler *sampler() { return sampler_.get(); }
+
+    /** @return the artifact directory ("" when none). */
+    const std::string &directory() const { return dir_; }
+
+    /** @return the run label. */
+    const std::string &label() const { return label_; }
+
+    /**
+     * Write the end-of-run artifacts: manifest.json, stats.json,
+     * decisions.jsonl and trace.json (no-op without an output
+     * directory).  Wall-clock and peak RSS are measured here.
+     */
+    void finish(const std::string &policy, const std::string &workload,
+                std::uint64_t seed, const std::string &config_json,
+                bool completed);
+
+  private:
+    TelemetryConfig cfg_;
+    std::string label_;
+    std::string dir_; ///< outDir/<sanitized label>, "" when none
+
+    telemetry::StatRegistry registry_;
+    std::unique_ptr<telemetry::DecisionTraceSink> decision_;
+    std::unique_ptr<telemetry::ChromeTraceSink> chrome_;
+    std::unique_ptr<telemetry::EpochSampler> sampler_;
+    telemetry::TimerSlot accessSlot_{};
+    telemetry::TimerSlot schedSlot_{};
+
+    std::FILE *epochsFile_ = nullptr;
+    std::chrono::steady_clock::time_point wallStart_;
+    std::string startedIso_;
+};
+
+/** Filesystem-safe form of a run label ([A-Za-z0-9._-] kept). */
+std::string sanitizeLabel(const std::string &label);
+
+/** Render a SystemConfig as the manifest's "config" JSON object. */
+std::string configJson(const SystemConfig &cfg);
+
+} // namespace sim
+
+} // namespace profess
+
+#endif // PROFESS_SIM_RUN_TELEMETRY_HH

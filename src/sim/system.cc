@@ -10,6 +10,7 @@
 #include "policy/pom.hh"
 #include "policy/silcfm.hh"
 #include "policy/static_policies.hh"
+#include "sim/run_telemetry.hh"
 
 namespace profess
 {
@@ -201,6 +202,31 @@ System::issue(ProgramId program, Addr vaddr, bool is_write,
                         std::move(done));
 }
 
+void
+System::attachTelemetry(RunTelemetry &telemetry)
+{
+    telemetry_ = &telemetry;
+    telemetry::StatRegistry &reg = telemetry.registry();
+
+    // The controller also registers the STC, the per-program service
+    // counters and the policy (under "policy.<name>").
+    controller_->registerTelemetry(reg, "hybrid");
+    for (unsigned c = 0; c < memory_->numChannels(); ++c) {
+        mem::Channel &ch = memory_->channel(c);
+        ch.registerTelemetry(reg, "mem.ch" + std::to_string(c));
+        ch.setSchedulerTimer(telemetry.schedulerTimer());
+    }
+    allocator_->registerTelemetry(reg, "os.alloc");
+    for (unsigned i = 0; i < cores_.size(); ++i) {
+        cores_[i]->registerTelemetry(reg,
+                                     "core" + std::to_string(i));
+    }
+
+    policy_->setTraceSink(telemetry.decisionSink());
+    controller_->setChromeTrace(telemetry.chromeSink());
+    controller_->setAccessTimer(telemetry.accessTimer());
+}
+
 core::ProfessPolicy *
 System::professPolicy()
 {
@@ -239,6 +265,8 @@ System::run(Tick max_ticks)
         c->start();
     }
     controller_->startPeriodic();
+    if (telemetry_ != nullptr)
+        telemetry_->startSampler(eq_);
 
     auto all_done = [this]() {
         for (const auto &c : cores_) {
@@ -269,6 +297,8 @@ System::run(Tick max_ticks)
     };
     eq_.run(stop);
     controller_->stopPeriodic();
+    if (telemetry_ != nullptr)
+        telemetry_->stopSampler();
     for (auto &c : cores_)
         c->halt();
 

@@ -33,6 +33,8 @@ namespace profess
 namespace sim
 {
 
+class RunTelemetry;
+
 /** Everything needed to build a System. */
 struct SystemConfig
 {
@@ -162,6 +164,17 @@ class System : public cpu::MemPort
     /** @return the event queue (tests). */
     EventQueue &eventQueue() { return eq_; }
 
+    /**
+     * Attach a telemetry bundle: registers every component's
+     * statistics (controller under "hybrid", channels under
+     * "mem.chN", cores under "coreN", the allocator under
+     * "os.alloc", the policy under "policy.<name>"), forwards the
+     * decision/chrome trace sinks and hot-path timers, and starts
+     * the epoch sampler when run() begins.  The bundle must outlive
+     * the system's run.
+     */
+    void attachTelemetry(RunTelemetry &telemetry);
+
     // cpu::MemPort
     void issue(ProgramId program, Addr vaddr, bool is_write,
                InlineCallback done) override;
@@ -180,6 +193,7 @@ class System : public cpu::MemPort
     unsigned numPrograms_ = 0;
     unsigned coresWarm_ = 0;
     Tick measureStart_ = 0;
+    RunTelemetry *telemetry_ = nullptr;
 };
 
 } // namespace sim
