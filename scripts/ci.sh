@@ -21,6 +21,13 @@
 #      the off run measured back-to-back on the same machine.
 #      The generated manifests/JSONL/chrome traces are uploaded
 #      as CI artifacts (see .github/workflows/ci.yml).
+#   5. Correctness tooling: the domain linter
+#      (scripts/lint_profess.py), clang-format in check-only mode
+#      and clang-tidy over src/ (both skipped with a notice when
+#      the tool is not installed — the runtime gates below do not
+#      depend on them), then the full test suite once more as
+#      Debug + UBSan + ASan with PROFESS_AUDIT=ON so every
+#      invariant-audit hook runs under both sanitizers.
 #
 # Usage: scripts/ci.sh [jobs]   (default: nproc)
 
@@ -29,7 +36,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
 
-echo "==> [1/4] Debug + TSan: parallel runner tests"
+echo "==> [1/5] Debug + TSan: parallel runner tests"
 cmake -B build-tsan -S . \
     -DCMAKE_BUILD_TYPE=Debug \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -g -O1" \
@@ -39,12 +46,12 @@ TSAN_OPTIONS="halt_on_error=1" \
     ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
         -R 'ThreadPool|AloneCache|Differential|ParallelRunner'
 
-echo "==> [2/4] Release: full suite"
+echo "==> [2/5] Release: full suite"
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "==> [3/4] Kernel perf smoke"
+echo "==> [3/5] Kernel perf smoke"
 cmake --build build -j "$JOBS" --target kernel_hotpath
 ./build/bench/kernel_hotpath --quick --label ci-smoke \
     --out build/kernel_smoke.json
@@ -52,7 +59,7 @@ python3 scripts/bench_report.py compare \
     bench/baselines/kernel_quick.json build/kernel_smoke.json \
     --max-regression 2.0
 
-echo "==> [4/4] Telemetry overhead gate"
+echo "==> [4/5] Telemetry overhead gate"
 # The 2%/15% bounds are far tighter than single-shot noise on a
 # shared CI box, so each mode runs three times (interleaved, to
 # balance load drift) and the gate uses the best run of each —
@@ -86,5 +93,58 @@ python3 scripts/bench_report.py compare \
 python3 scripts/bench_report.py show \
     build/kernel_telemetry_on.json \
     --with-telemetry build/telemetry-artifacts
+
+echo "==> [5/5] Correctness tooling"
+python3 scripts/lint_profess.py
+
+if command -v clang-format >/dev/null 2>&1; then
+    # Check-only: report drift, never rewrite (see .clang-format).
+    git ls-files 'src/**/*.cc' 'src/**/*.hh' |
+        xargs clang-format --dry-run -Werror
+else
+    echo "    clang-format not installed; skipping format check"
+fi
+
+if command -v clang-tidy >/dev/null 2>&1; then
+    # Results are cached on a stamp keyed by everything that can
+    # change a finding (tidy config, sources, build flags); CI
+    # persists build-tidy/.ctcache across runs (actions/cache), so
+    # unchanged trees skip the whole analysis.
+    TIDY_STAMP_DIR=build-tidy/.ctcache
+    TIDY_HASH=$( (clang-tidy --version
+                  cat .clang-tidy CMakeLists.txt
+                  git ls-files 'src/**' | sort | xargs cat) |
+                 sha256sum | cut -d' ' -f1)
+    if [ -f "$TIDY_STAMP_DIR/$TIDY_HASH" ]; then
+        echo "    clang-tidy cache hit ($TIDY_HASH); skipping"
+    else
+        # A dedicated compile database (any build type works; tidy
+        # only needs the flags).  run-clang-tidy parallelizes.
+        cmake -B build-tidy -S . -DCMAKE_BUILD_TYPE=Debug \
+            -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+        if command -v run-clang-tidy >/dev/null 2>&1; then
+            run-clang-tidy -p build-tidy -j "$JOBS" -quiet \
+                "$(pwd)/src/.*"
+        else
+            git ls-files 'src/**/*.cc' |
+                xargs clang-tidy -p build-tidy --quiet
+        fi
+        mkdir -p "$TIDY_STAMP_DIR"
+        touch "$TIDY_STAMP_DIR/$TIDY_HASH"
+    fi
+else
+    echo "    clang-tidy not installed; skipping static analysis"
+fi
+
+# Full suite under UBSan + ASan with every audit hook compiled in.
+# This is the stage that actually executes the invariant audits:
+# Release keeps PROFESS_AUDIT off (bit-identical hot path), Debug
+# turns it on and sanitizes the checks themselves.
+cmake -B build-ubsan -S . \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DPROFESS_UBSAN=ON -DPROFESS_ASAN=ON -DPROFESS_AUDIT=ON
+cmake --build build-ubsan -j "$JOBS"
+UBSAN_OPTIONS="print_stacktrace=1" \
+    ctest --test-dir build-ubsan --output-on-failure -j "$JOBS"
 
 echo "==> CI passed"

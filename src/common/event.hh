@@ -45,6 +45,7 @@
 #include <vector>
 
 #include "common/inline_function.hh"
+#include "common/invariant.hh"
 #include "common/logging.hh"
 #include "common/types.hh"
 
@@ -145,6 +146,7 @@ class EventQueue
         }
         Entry e = extract(peek_);
         peek_.found = false;
+        PROFESS_AUDIT_ONLY(auditExtraction(e.when, e.seq));
         now_ = e.when;
         ++executed_;
         e.cb();
@@ -181,6 +183,60 @@ class EventQueue
                 break;
         }
         return n;
+    }
+
+    /**
+     * Audit the queue's structural invariants: the wheel count
+     * matches the buckets, the occupancy bitmap is exact, every
+     * wheel entry lies within [now, now + horizon), no entry is in
+     * the past, and the overflow tier is a well-formed (when, seq)
+     * min-heap.  Panics on violation.  Callable in any build; the
+     * per-extraction ordering check additionally runs on every
+     * runOne() in PROFESS_AUDIT builds.
+     */
+    void
+    auditInvariants() const
+    {
+        std::size_t counted = 0;
+        for (std::size_t b = 0; b < numBuckets; ++b) {
+            bool bit = (nonEmpty_[b >> 6] &
+                        (std::uint64_t(1) << (b & 63))) != 0;
+            profess_audit(bit == !buckets_[b].empty(),
+                          "occupancy bit of bucket %zu is %d but "
+                          "bucket holds %zu events",
+                          b, bit ? 1 : 0, buckets_[b].size());
+            counted += buckets_[b].size();
+            for (const Entry &e : buckets_[b]) {
+                profess_audit(e.when >= now_,
+                              "wheel event at %llu is in the past "
+                              "(now %llu)",
+                              static_cast<unsigned long long>(e.when),
+                              static_cast<unsigned long long>(now_));
+                profess_audit(e.when - now_ < horizon,
+                              "wheel event at %llu beyond the "
+                              "horizon (now %llu)",
+                              static_cast<unsigned long long>(e.when),
+                              static_cast<unsigned long long>(now_));
+                profess_audit(bucketOf(e.when) == b,
+                              "event at %llu filed in bucket %zu",
+                              static_cast<unsigned long long>(e.when),
+                              b);
+            }
+        }
+        profess_audit(counted == wheelCount_,
+                      "wheel count %zu but buckets hold %zu events",
+                      wheelCount_, counted);
+        profess_audit(
+            std::is_heap(overflow_.begin(), overflow_.end(),
+                         EntryLater{}),
+            "overflow tier is not a (when, seq) min-heap");
+        for (const Entry &e : overflow_) {
+            profess_audit(e.when >= now_,
+                          "overflow event at %llu is in the past "
+                          "(now %llu)",
+                          static_cast<unsigned long long>(e.when),
+                          static_cast<unsigned long long>(now_));
+        }
     }
 
     /** Run events with when <= limit. @return events executed. */
@@ -401,6 +457,28 @@ class EventQueue
         return e;
     }
 
+    /**
+     * Audit one extraction against the (when, seq) ordering
+     * contract: strictly increasing seq within a tick, never a tick
+     * before the previous extraction.  Only called (and the last-
+     * extraction state only updated) in PROFESS_AUDIT builds.
+     */
+    void
+    auditExtraction(Tick when, std::uint64_t seq)
+    {
+        profess_audit(!hasExtracted_ || when > lastWhen_ ||
+                          (when == lastWhen_ && seq > lastSeq_),
+                      "(when, seq) ordering violated: (%llu, %llu) "
+                      "after (%llu, %llu)",
+                      static_cast<unsigned long long>(when),
+                      static_cast<unsigned long long>(seq),
+                      static_cast<unsigned long long>(lastWhen_),
+                      static_cast<unsigned long long>(lastSeq_));
+        hasExtracted_ = true;
+        lastWhen_ = when;
+        lastSeq_ = seq;
+    }
+
     std::vector<std::vector<Entry>> buckets_{numBuckets};
     /** One occupancy bit per bucket (see nextNonEmpty). */
     std::array<std::uint64_t, numWords> nonEmpty_{};
@@ -410,6 +488,10 @@ class EventQueue
     Tick now_ = 0;
     std::uint64_t seq_ = 0;
     std::uint64_t executed_ = 0;
+    // Ordering-audit state; written only in PROFESS_AUDIT builds.
+    Tick lastWhen_ = 0;
+    std::uint64_t lastSeq_ = 0;
+    bool hasExtracted_ = false;
 };
 
 } // namespace profess

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Compile-out invariant-audit subsystem (DESIGN.md Sec. 4e).
+ *
+ * ProFess's correctness rests on tight structural invariants — the
+ * swap-group ATB permutation, ST/STC residency coherence, the 6-bit
+ * saturating access counters and their 2-bit QAC quantization, RSM's
+ * smoothing-period bookkeeping, and the event queue's (when, seq)
+ * ordering contract.  This header provides the machinery that checks
+ * them mechanically:
+ *
+ *  - Components expose `auditInvariants()` methods that validate
+ *    their structural invariants and panic() on violation.  These
+ *    methods exist in *every* build (tests call them directly) and
+ *    bump the process-wide audit check counter so tests can assert
+ *    audits actually executed.
+ *  - Hot-path call sites are wrapped in PROFESS_AUDIT_ONLY(...),
+ *    which compiles to nothing unless the build defines
+ *    PROFESS_AUDIT (the `-DPROFESS_AUDIT=ON` CMake option).  Release
+ *    builds are therefore bit-identical and pay zero cost; the CI
+ *    Debug sanitizer stage runs with the hooks live after every STC
+ *    fill/evict, completed swap, MDM statistics update and RSM
+ *    period rollover.
+ *  - `profess_audit(cond, ...)` is the assertion primitive used
+ *    inside auditInvariants() bodies: it counts the check and
+ *    panics with the formatted message when `cond` is false.
+ *
+ * The counter is a relaxed atomic: the parallel experiment runner
+ * audits several systems concurrently and the count is only ever
+ * read for "did any checks run" assertions, never for
+ * synchronization.
+ */
+
+#ifndef PROFESS_COMMON_INVARIANT_HH
+#define PROFESS_COMMON_INVARIANT_HH
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/logging.hh"
+
+#ifdef PROFESS_AUDIT
+#define PROFESS_AUDIT_ENABLED 1
+#else
+#define PROFESS_AUDIT_ENABLED 0
+#endif
+
+namespace profess
+{
+
+namespace audit
+{
+
+/** True when hot-path audit hooks are compiled in. */
+constexpr bool enabled = PROFESS_AUDIT_ENABLED != 0;
+
+/** @return the process-wide count of executed audit checks. */
+inline std::atomic<std::uint64_t> &
+checkCounter()
+{
+    static std::atomic<std::uint64_t> count{0};
+    return count;
+}
+
+/** Count one executed audit check. */
+inline void
+noteCheck()
+{
+    checkCounter().fetch_add(1, std::memory_order_relaxed);
+}
+
+/** @return audit checks executed so far in this process. */
+inline std::uint64_t
+checksRun()
+{
+    return checkCounter().load(std::memory_order_relaxed);
+}
+
+} // namespace audit
+
+/**
+ * Audit assertion: count the check, panic on violation.  Used inside
+ * auditInvariants() bodies, which are reachable in every build; the
+ * compile-out gating happens at the PROFESS_AUDIT_ONLY call sites.
+ */
+#define profess_audit(cond, ...)                                       \
+    do {                                                               \
+        ::profess::audit::noteCheck();                                 \
+        if (!(cond))                                                   \
+            panic(__VA_ARGS__);                                        \
+    } while (0)
+
+/**
+ * Emit `code` only in PROFESS_AUDIT builds.  Wrap hot-path audit
+ * hook invocations (and any state updates that exist solely to feed
+ * them) so Release binaries compile them out completely.
+ */
+#if PROFESS_AUDIT_ENABLED
+#define PROFESS_AUDIT_ONLY(...)                                        \
+    do {                                                               \
+        __VA_ARGS__;                                                   \
+    } while (0)
+#else
+#define PROFESS_AUDIT_ONLY(...)                                        \
+    do {                                                               \
+    } while (0)
+#endif
+
+} // namespace profess
+
+#endif // PROFESS_COMMON_INVARIANT_HH

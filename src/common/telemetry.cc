@@ -39,6 +39,19 @@ printValue(std::FILE *f, const StatRegistry::Entry &e)
 //
 
 void
+StatRegistry::addEntry(Entry e)
+{
+    // Duplicate dotted names would silently shadow each other in
+    // value() and produce ambiguous report columns; scripts/
+    // lint_profess.py checks the literals statically, this catches
+    // runtime-composed prefixes.
+    panic_if(contains(e.name), "duplicate statistic name '%s'",
+             e.name.c_str());
+    entries_.push_back(std::move(e));
+    sorted_ = false;
+}
+
+void
 StatRegistry::addSet(const std::string &prefix, const StatSet &set)
 {
     for (const auto &kv : set.counters()) {
@@ -46,7 +59,7 @@ StatRegistry::addSet(const std::string &prefix, const StatSet &set)
         e.name = prefix + "." + kv.first;
         e.isCounter = true;
         e.counter = &kv.second;
-        entries_.push_back(std::move(e));
+        addEntry(std::move(e));
     }
     // Values are doubles set late in a run; sample them via a probe
     // so the current value is read at dump/sample time.
@@ -56,9 +69,8 @@ StatRegistry::addSet(const std::string &prefix, const StatSet &set)
         Entry e;
         e.name = prefix + "." + name;
         e.probe = [s, name]() { return s->value(name); };
-        entries_.push_back(std::move(e));
+        addEntry(std::move(e));
     }
-    sorted_ = false;
 }
 
 void
@@ -68,8 +80,7 @@ StatRegistry::addProbe(const std::string &name,
     Entry e;
     e.name = name;
     e.probe = std::move(fn);
-    entries_.push_back(std::move(e));
-    sorted_ = false;
+    addEntry(std::move(e));
 }
 
 void
@@ -80,8 +91,7 @@ StatRegistry::addCounter(const std::string &name,
     e.name = name;
     e.isCounter = true;
     e.counter = &c;
-    entries_.push_back(std::move(e));
-    sorted_ = false;
+    addEntry(std::move(e));
 }
 
 const std::vector<StatRegistry::Entry> &

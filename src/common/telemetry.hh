@@ -107,6 +107,9 @@ class StatRegistry
     void dumpCsv(std::FILE *f) const;
 
   private:
+    /** Append after checking name uniqueness (panics on dupes). */
+    void addEntry(Entry e);
+
     mutable std::vector<Entry> entries_;
     mutable bool sorted_ = true;
 };

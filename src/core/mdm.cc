@@ -1,7 +1,9 @@
 #include "core/mdm.hh"
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/invariant.hh"
 #include "common/logging.hh"
 #include "common/telemetry.hh"
 #include "common/trace_sink.hh"
@@ -79,7 +81,73 @@ Mdm::recordEviction(ProgramId owner, std::uint8_t q_i,
             }
         }
     }
+    PROFESS_AUDIT_ONLY(auditInvariants());
     return q_e;
+}
+
+void
+Mdm::auditInvariants() const
+{
+    // Table 5 bucket bounds per q_E; counts arrive from 6-bit
+    // saturating access counters, so 63 caps every bucket.
+    constexpr double bucket_lo[numQacValues] = {0.0, 1.0, 8.0, 32.0};
+    constexpr double bucket_hi[numQacValues] = {0.0, 7.0, 31.0, 63.0};
+    for (const ProgState &st : progs_) {
+        std::uint64_t joint_total = 0;
+        for (unsigned q_i = 0; q_i < numQacValues; ++q_i) {
+            profess_audit(st.numQ[q_i][0] == 0,
+                          "q_E = 0 transition recorded (counts are "
+                          "non-zero by contract)");
+            std::uint64_t row = 0;
+            for (unsigned q_e = 0; q_e < numQacValues; ++q_e)
+                row += st.numQ[q_i][q_e];
+            profess_audit(st.numQSumE[q_i] == row,
+                          "num_q_sum_E[%u] = %llu but joint row "
+                          "sums to %llu",
+                          q_i,
+                          static_cast<unsigned long long>(
+                              st.numQSumE[q_i]),
+                          static_cast<unsigned long long>(row));
+            joint_total += row;
+        }
+        std::uint64_t col_total = 0;
+        for (unsigned q_e = 0; q_e < numQacValues; ++q_e) {
+            std::uint64_t col = 0;
+            for (unsigned q_i = 0; q_i < numQacValues; ++q_i)
+                col += st.numQ[q_i][q_e];
+            profess_audit(st.numQSumI[q_e] == col,
+                          "num_q_sum_I[%u] = %llu but joint column "
+                          "sums to %llu",
+                          q_e,
+                          static_cast<unsigned long long>(
+                              st.numQSumI[q_e]),
+                          static_cast<unsigned long long>(col));
+            col_total += col;
+            double n = static_cast<double>(st.numQSumI[q_e]);
+            profess_audit(st.accumCnt[q_e] >= n * bucket_lo[q_e] &&
+                              st.accumCnt[q_e] <= n * bucket_hi[q_e],
+                          "accum_cnt[%u] = %g outside Table 5 "
+                          "bounds for %llu updates",
+                          q_e, st.accumCnt[q_e],
+                          static_cast<unsigned long long>(
+                              st.numQSumI[q_e]));
+        }
+        profess_audit(joint_total == col_total,
+                      "joint transition counts disagree");
+        for (unsigned q = 0; q < numQacValues; ++q) {
+            profess_audit(std::isfinite(st.expCntReg[q]) &&
+                              st.expCntReg[q] >= 0.0,
+                          "exp_cnt[%u] = %g not finite/non-negative",
+                          q, st.expCntReg[q]);
+        }
+        profess_audit(st.phaseUpdateCount < params_.phaseUpdates,
+                      "phase counter %llu not below phase length "
+                      "%llu",
+                      static_cast<unsigned long long>(
+                          st.phaseUpdateCount),
+                      static_cast<unsigned long long>(
+                          params_.phaseUpdates));
+    }
 }
 
 void

@@ -61,6 +61,28 @@ quantizeQac(unsigned count)
     return 3;
 }
 
+/** Compile-time audit of quantizeQac over the 6-bit counter range:
+ *  monotone non-decreasing and within 2 bits (Table 5). */
+constexpr bool
+qacQuantizationMonotone()
+{
+    for (unsigned c = 0; c <= 64; ++c) {
+        if (quantizeQac(c) >= numQacValues)
+            return false;
+        if (c > 0 && quantizeQac(c) < quantizeQac(c - 1))
+            return false;
+    }
+    return true;
+}
+
+static_assert(qacQuantizationMonotone(),
+              "QAC quantization must be monotone and 2-bit");
+static_assert(quantizeQac(0) == 0 && quantizeQac(1) == 1 &&
+                  quantizeQac(7) == 1 && quantizeQac(8) == 2 &&
+                  quantizeQac(31) == 2 && quantizeQac(32) == 3 &&
+                  quantizeQac(63) == 3,
+              "Table 5 bucket edges");
+
 /** The prediction engine (per-program statistics, Table 6). */
 class Mdm
 {
@@ -169,6 +191,17 @@ class Mdm
     /** @return P(qE | qI) (Eq. 7) as currently registered. */
     double transitionProb(ProgramId p, std::uint8_t q_i,
                           std::uint8_t q_e) const;
+
+    /**
+     * Audit every program's Table 6 statistics: the marginal sums
+     * match the joint transition counts, accumulated access counts
+     * stay consistent with the Table 5 bucket of their q_E (counts
+     * arrive from 6-bit saturating ACs, so at most 63 each), the
+     * registered expectations are finite and non-negative, and the
+     * phase counter stays within a phase.  Panics on violation.
+     * Hooked after every statistics update in PROFESS_AUDIT builds.
+     */
+    void auditInvariants() const;
 
   private:
     /** Table 6 counters and registered values of one program. */

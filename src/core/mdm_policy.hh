@@ -75,6 +75,12 @@ class MdmPolicy : public policy::MigrationPolicy
         mdm_.registerTelemetry(registry, prefix + ".mdm");
     }
 
+    /** Audit the prediction engine's Table 6 statistics. */
+    void auditInvariants() const override
+    {
+        mdm_.auditInvariants();
+    }
+
   private:
     const hybrid::HybridLayout &layout_;
     const os::BlockOwnerOracle &oracle_;

@@ -122,6 +122,14 @@ class ProfessPolicy : public policy::MigrationPolicy
     void registerTelemetry(telemetry::StatRegistry &registry,
                            const std::string &prefix) override;
 
+    /** Audit both sub-mechanisms (MDM Table 6, RSM Table 3). */
+    void
+    auditInvariants() const override
+    {
+        mdm_.auditInvariants();
+        rsm_.auditInvariants();
+    }
+
   private:
     const hybrid::HybridLayout &layout_;
     const os::BlockOwnerOracle &oracle_;

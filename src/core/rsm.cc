@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/invariant.hh"
 #include "common/logging.hh"
 #include "common/telemetry.hh"
 #include "common/trace_sink.hh"
@@ -142,6 +143,47 @@ Rsm::endPeriod(ProgramId p, ProgState &st, Tick now)
         r.kind = static_cast<std::uint8_t>(
             telemetry::TraceKind::RsmPeriod);
         trace_->push(r);
+    }
+    PROFESS_AUDIT_ONLY(auditInvariants());
+}
+
+void
+Rsm::auditInvariants() const
+{
+    for (unsigned i = 0; i < progs_.size(); ++i) {
+        const ProgState &st = progs_[i];
+        profess_audit(std::isfinite(st.sfA) && st.sfA > 0.0,
+                      "program %u SF_A = %g not finite/positive", i,
+                      st.sfA);
+        profess_audit(std::isfinite(st.sfB) &&
+                          st.sfB >= 1.0 - 1e-9,
+                      "program %u SF_B = %g below 1 (self swaps "
+                      "cannot exceed total swaps)",
+                      i, st.sfB);
+        profess_audit(st.reqM1P <= st.reqTotalP &&
+                          st.reqM1S <= st.reqTotalS,
+                      "program %u M1 request counts exceed totals",
+                      i);
+        profess_audit(st.swapSelf <= st.swapTotal,
+                      "program %u self swaps %llu exceed total %llu",
+                      i,
+                      static_cast<unsigned long long>(st.swapSelf),
+                      static_cast<unsigned long long>(st.swapTotal));
+        profess_audit(st.periodServed < params_.sampleRequests,
+                      "program %u served counter %llu not below "
+                      "Msamp %llu",
+                      i,
+                      static_cast<unsigned long long>(
+                          st.periodServed),
+                      static_cast<unsigned long long>(
+                          params_.sampleRequests));
+        profess_audit(st.periodServed ==
+                          st.reqTotalP + st.reqTotalS,
+                      "program %u served %llu disagrees with its "
+                      "request counters",
+                      i,
+                      static_cast<unsigned long long>(
+                          st.periodServed));
     }
 }
 

@@ -113,6 +113,18 @@ class Rsm
     void registerTelemetry(telemetry::StatRegistry &registry,
                            const std::string &prefix) const;
 
+    /**
+     * Audit every program's monitor state: slowdown factors finite
+     * and positive (SF_B >= 1 since a program's self swaps never
+     * exceed its total swaps and smoothing preserves the order),
+     * Table 3 counters mutually consistent (M1 sub-counts within the
+     * totals, self swaps within total swaps), and the sampling-
+     * period bookkeeping inside a period (served counter strictly
+     * below Msamp after each update).  Panics on violation.  Hooked
+     * at every period rollover in PROFESS_AUDIT builds.
+     */
+    void auditInvariants() const;
+
   private:
     /** Per-program counters (Table 3) and smoothers. */
     struct ProgState

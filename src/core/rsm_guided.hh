@@ -135,6 +135,14 @@ class RsmGuidedPolicy : public policy::MigrationPolicy
     /** @return the RSM sub-component. */
     Rsm &rsm() { return rsm_; }
 
+    /** Audit the RSM bookkeeping and the wrapped inner policy. */
+    void
+    auditInvariants() const override
+    {
+        rsm_.auditInvariants();
+        inner_->auditInvariants();
+    }
+
     void
     setTraceSink(telemetry::DecisionTraceSink *sink) override
     {

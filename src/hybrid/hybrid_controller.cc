@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "common/invariant.hh"
 #include "common/telemetry.hh"
 #include "common/trace_sink.hh"
 
@@ -226,6 +227,9 @@ HybridController::finishFill(std::uint64_t group)
     panic_if(m == nullptr, "fill lost its STC entry");
     m->lastFold = eq_.now();
     policy_.onStcInsert(group, *m);
+    // ST/STC coherence after the fill (and the eviction it caused).
+    PROFESS_AUDIT_ONLY(stc_.auditSet(group, st_);
+                       if (ev.valid) st_.auditGroup(ev.group));
 
     GroupInfo &gi = groups_[group];
     PendingAccess *pa = gi.fillWaiters.take();
@@ -303,6 +307,9 @@ HybridController::finishSwap(std::uint64_t group,
     StcMeta *m = stc_.peek(group);
     panic_if(m == nullptr, "swapped group lost its STC entry");
     m->swapping = false;
+    // Permutation integrity after every completed swap.
+    PROFESS_AUDIT_ONLY(st_.auditGroup(group);
+                       stc_.auditSet(group, st_));
 
     ProgramId prom_owner =
         oracle_.ownerOfBlock(layout_.blockIndex(group, promote_slot));

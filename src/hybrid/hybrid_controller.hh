@@ -157,6 +157,21 @@ class HybridController : public policy::SwapHost
     void registerTelemetry(telemetry::StatRegistry &registry,
                            const std::string &prefix);
 
+    /**
+     * Full structural audit: every swap group's ATB permutation and
+     * QAC range, ST/STC residency coherence across all sets, and
+     * the migration policy's internal invariants.  Panics on
+     * violation.  Wired into System teardown in PROFESS_AUDIT
+     * builds; callable from tests in any build.
+     */
+    void
+    auditInvariants() const
+    {
+        st_.auditInvariants();
+        stc_.auditInvariants(st_);
+        policy_.auditInvariants();
+    }
+
     /** Emit swap/fill spans to a Chrome trace (null disables). */
     void setChromeTrace(telemetry::ChromeTraceSink *sink)
     {

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/invariant.hh"
 #include "common/logging.hh"
 #include "hybrid/layout.hh"
 
@@ -103,6 +104,45 @@ class SwapGroupTable
 
     /** @return the layout this table was built for. */
     const HybridLayout &layout() const { return layout_; }
+
+    /**
+     * Audit one group's structural invariants: the ATB values form a
+     * permutation of the group's locations (exactly one slot in M1)
+     * and every QAC stays within its 2-bit range (Table 5).  Panics
+     * on violation.  Hooked after every completed swap in
+     * PROFESS_AUDIT builds; callable from tests in any build.
+     */
+    void
+    auditGroup(std::uint64_t group) const
+    {
+        const StEntry &e = entry(group);
+        std::uint32_t seen = 0;
+        for (unsigned s = 0; s < layout_.slotsPerGroup; ++s) {
+            unsigned loc = e.atb[s];
+            profess_audit(loc < layout_.slotsPerGroup,
+                          "group %llu slot %u maps to location %u "
+                          "outside the group",
+                          static_cast<unsigned long long>(group), s,
+                          loc);
+            profess_audit((seen & (1u << loc)) == 0,
+                          "group %llu location %u held by two slots",
+                          static_cast<unsigned long long>(group),
+                          loc);
+            seen |= 1u << loc;
+            profess_audit(e.qac[s] < 4,
+                          "group %llu slot %u QAC %u exceeds 2 bits",
+                          static_cast<unsigned long long>(group), s,
+                          e.qac[s]);
+        }
+    }
+
+    /** Audit every group (teardown-scope full scan). */
+    void
+    auditInvariants() const
+    {
+        for (std::uint64_t g = 0; g < entries_.size(); ++g)
+            auditGroup(g);
+    }
 
   private:
     HybridLayout layout_;

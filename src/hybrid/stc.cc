@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "common/invariant.hh"
 #include "common/telemetry.hh"
 
 namespace profess
@@ -102,6 +103,54 @@ StCache::insert(std::uint64_t group, const std::uint8_t *current_qac,
     std::memcpy(victim->meta.qacAtInsert, current_qac,
                 sizeof(victim->meta.qacAtInsert));
     return true;
+}
+
+void
+StCache::auditSet(std::uint64_t group,
+                  const SwapGroupTable &st) const
+{
+    const std::uint64_t num_groups = st.layout().numGroups;
+    const unsigned slots = st.layout().slotsPerGroup;
+    const Way *set = &store_[setOf(group) * ways_];
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (!set[w].valid)
+            continue;
+        profess_audit(set[w].group < num_groups,
+                      "STC caches group %llu beyond the table (%llu "
+                      "groups)",
+                      static_cast<unsigned long long>(set[w].group),
+                      static_cast<unsigned long long>(num_groups));
+        for (unsigned v = w + 1; v < ways_; ++v) {
+            profess_audit(!set[v].valid ||
+                              set[v].group != set[w].group,
+                          "group %llu cached in two ways of one set",
+                          static_cast<unsigned long long>(
+                              set[w].group));
+        }
+        const StcMeta &m = set[w].meta;
+        for (unsigned s = 0; s < slots; ++s) {
+            profess_audit(m.ac[s] <= 63,
+                          "group %llu slot %u AC %u exceeds 6 bits",
+                          static_cast<unsigned long long>(
+                              set[w].group),
+                          s, m.ac[s]);
+            profess_audit(m.qacAtInsert[s] < 4,
+                          "group %llu slot %u q_I %u exceeds 2 bits",
+                          static_cast<unsigned long long>(
+                              set[w].group),
+                          s, m.qacAtInsert[s]);
+        }
+        profess_audit(!m.swapping || m.dirty,
+                      "group %llu mid-swap but not dirty",
+                      static_cast<unsigned long long>(set[w].group));
+    }
+}
+
+void
+StCache::auditInvariants(const SwapGroupTable &st) const
+{
+    for (std::uint64_t set = 0; set < numSets_; ++set)
+        auditSet(set, st); // setOf(set) walks every set once
 }
 
 void

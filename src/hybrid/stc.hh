@@ -177,6 +177,20 @@ class StCache
     void registerTelemetry(telemetry::StatRegistry &registry,
                            const std::string &prefix) const;
 
+    /**
+     * Audit ST/STC residency coherence for the set holding `group`:
+     * no group cached twice, every cached group within the table,
+     * access counters within 6 bits, q_I snapshots within 2 bits,
+     * and in-flight swaps marked dirty (a swap always updates the
+     * ATB).  Panics on violation.  Hooked after every STC fill /
+     * evict and completed swap in PROFESS_AUDIT builds.
+     */
+    void auditSet(std::uint64_t group,
+                  const SwapGroupTable &st) const;
+
+    /** Audit every set (teardown-scope full scan). */
+    void auditInvariants(const SwapGroupTable &st) const;
+
     /** @return hit rate in [0,1] (1 if no lookups). */
     double
     hitRate() const

@@ -185,6 +185,13 @@ class MigrationPolicy
         (void)sink;
     }
 
+    /**
+     * Audit the policy's internal invariants (panic on violation).
+     * Called from System teardown in PROFESS_AUDIT builds and from
+     * tests in any build; the default has nothing to check.
+     */
+    virtual void auditInvariants() const {}
+
   protected:
     SwapHost *host_ = nullptr;
 };

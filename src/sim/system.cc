@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/invariant.hh"
+
 #include "core/mdm_policy.hh"
 #include "core/rsm_guided.hh"
 #include "policy/cameo.hh"
@@ -227,6 +229,13 @@ System::attachTelemetry(RunTelemetry &telemetry)
     controller_->setAccessTimer(telemetry.accessTimer());
 }
 
+void
+System::auditInvariants() const
+{
+    controller_->auditInvariants();
+    eq_.auditInvariants();
+}
+
 core::ProfessPolicy *
 System::professPolicy()
 {
@@ -301,6 +310,10 @@ System::run(Tick max_ticks)
         telemetry_->stopSampler();
     for (auto &c : cores_)
         c->halt();
+
+    // Full structural audit at teardown: cheap relative to the run
+    // and catches corruption that slipped past the per-event hooks.
+    PROFESS_AUDIT_ONLY(auditInvariants());
 
     bool ok = all_done();
     if (!ok) {

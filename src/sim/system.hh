@@ -165,6 +165,14 @@ class System : public cpu::MemPort
     EventQueue &eventQueue() { return eq_; }
 
     /**
+     * Audit every component's structural invariants: the hybrid
+     * controller (ST, STC, policy) and the event queue.  Panics on
+     * violation.  run() calls this at teardown in PROFESS_AUDIT
+     * builds; tests may call it in any build.
+     */
+    void auditInvariants() const;
+
+    /**
      * Attach a telemetry bundle: registers every component's
      * statistics (controller under "hybrid", channels under
      * "mem.chN", cores under "coreN", the allocator under

@@ -8,8 +8,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <set>
 
+#include "common/invariant.hh"
+#include "core/profess.hh"
 #include "sim/report.hh"
 #include "sim/system.hh"
 #include "trace/spec_profiles.hh"
@@ -112,6 +115,88 @@ INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicyInvariants,
                                            "mempod", "mdm",
                                            "profess", "rsm-pom",
                                            "oscoarse"));
+
+TEST(AuditSubsystem, SystemAuditRunsEverywhere)
+{
+    // The audit methods are compiled into every build type (only
+    // the hot-path call sites are PROFESS_AUDIT-gated), so a full
+    // post-run audit must be callable here and must execute a
+    // substantial number of checks.
+    System sys(tinyConfig(), "profess", fourSources(11));
+    ASSERT_TRUE(sys.run());
+    std::uint64_t before = audit::checksRun();
+    sys.auditInvariants();
+    EXPECT_GT(audit::checksRun(), before + 1000);
+}
+
+namespace
+{
+
+/**
+ * Drive `pol`'s RSM so program `p` ends a smoothing period with
+ * roughly the intended slowdown factors (mirrors the fixture in
+ * test_profess.cc; requires rsm.sampleRequests == 10, alpha == 1).
+ */
+void
+driveFactors(core::ProfessPolicy &pol, ProgramId p, double sf_a,
+             double sf_b)
+{
+    core::Rsm &rsm = pol.rsm();
+    int shared_m1 = std::max(0, static_cast<int>(8.0 / sf_a) - 1);
+    int swaps = static_cast<int>(sf_b) - 1;
+    for (int i = 0; i < swaps; ++i)
+        rsm.onSwap(p, invalidProgram, false);
+    for (int i = 0; i < 2; ++i)
+        rsm.onServed(p, static_cast<unsigned>(p), true);
+    for (int i = 0; i < 8; ++i)
+        rsm.onServed(p, 10, i < shared_m1);
+}
+
+} // anonymous namespace
+
+TEST(AuditSubsystem, ForcedVacantSwapsKeepStIntegrity)
+{
+    // Table 7 Case 1 treats the incumbent M1 block "as if vacant":
+    // MDM sees no displaced-block cost, so sustained Case-1
+    // guidance produces the most aggressive swap pattern the
+    // controller can emit.  Force that pattern directly into a
+    // swap-group table and audit after every swap.
+    hybrid::HybridLayout layout =
+        hybrid::HybridLayout::build(1 * MiB, 8 * MiB, 2, 32, 9);
+    os::PageAllocator alloc(layout.numGroups, 9, 32, 2, 7);
+    core::ProfessPolicy::Params p;
+    p.mdm.numPrograms = 2;
+    p.rsm.numPrograms = 2;
+    p.rsm.numRegions = 32;
+    p.rsm.sampleRequests = 10;
+    p.rsm.alpha = 1.0;
+    core::ProfessPolicy pol(layout, alloc, p);
+    driveFactors(pol, 0, 4.0, 4.0); // accessor suffers
+    driveFactors(pol, 1, 1.0, 1.0);
+
+    hybrid::StcMeta meta{};
+    std::memset(meta.ac, 0, sizeof(meta.ac));
+    policy::AccessInfo info{};
+    info.slot = 2;
+    info.m1Slot = 0;
+    info.region = 10;
+    info.accessor = 0;
+    info.m1Owner = 1;
+    info.meta = &meta;
+    ASSERT_EQ(pol.classify(info),
+              core::ProfessPolicy::GuidanceCase::Case1);
+
+    hybrid::SwapGroupTable st(layout);
+    std::uint64_t before = audit::checksRun();
+    for (std::uint64_t g = 0; g < 32; ++g) {
+        for (unsigned s = 1; s < layout.slotsPerGroup; ++s) {
+            st.swapSlots(g, st.slotInM1(g), s);
+            st.auditGroup(g);
+        }
+    }
+    st.auditInvariants();
+    EXPECT_GT(audit::checksRun(), before);
+}
 
 class SeedSweep : public ::testing::TestWithParam<int>
 {

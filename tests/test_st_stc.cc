@@ -8,6 +8,8 @@
 
 #include <cstring>
 
+#include "common/invariant.hh"
+#include "core/mdm.hh"
 #include "hybrid/st.hh"
 #include "hybrid/stc.hh"
 
@@ -228,6 +230,57 @@ TEST(StCache, PeekDoesNotCountStats)
     EXPECT_EQ(stc.peek(99), nullptr);
     EXPECT_EQ(stc.hits(), h);
     EXPECT_EQ(stc.misses(), m);
+}
+
+TEST(StCache, EvictionWritebackCarriesCountersAndSnapshot)
+{
+    StCache stc(tinyStc());
+    std::uint8_t qac[maxSlots] = {};
+    qac[2] = 3;
+    StcEviction ev;
+    ASSERT_TRUE(stc.insert(0, qac, ev));
+    stc.peek(0)->bump(2, 5);
+    stc.peek(0)->bump(4, 70); // saturates at 63
+    for (std::uint64_t g : {2u, 4u, 6u, 8u})
+        ASSERT_TRUE(stc.insert(g, zeroQac, ev));
+    ASSERT_TRUE(ev.valid);
+    ASSERT_EQ(ev.group, 0u);
+    EXPECT_TRUE(ev.dirty);
+    // The evicted metadata is the writeback payload: final access
+    // counters plus the q_I snapshot taken at insertion.
+    EXPECT_EQ(ev.meta.ac[2], 5);
+    EXPECT_EQ(ev.meta.ac[4], 63);
+    EXPECT_EQ(ev.meta.qacAtInsert[2], 3);
+    EXPECT_EQ(ev.meta.qacAtInsert[4], 0);
+
+    // Fold the counters into the ST entry the way the eviction
+    // path does (quantize per Table 5) and audit the group.
+    SwapGroupTable st(smallLayout());
+    StEntry &e = st.entry(ev.group);
+    for (unsigned s = 0; s < smallLayout().slotsPerGroup; ++s)
+        e.qac[s] = core::quantizeQac(ev.meta.ac[s]);
+    EXPECT_EQ(e.qac[2], 1); // 5 accesses -> bucket 1
+    EXPECT_EQ(e.qac[4], 3); // 63 accesses -> bucket 3
+    st.auditGroup(ev.group);
+}
+
+TEST(StCache, AuditCleanAfterChurn)
+{
+    HybridLayout l = smallLayout();
+    SwapGroupTable st(l);
+    StCache stc(tinyStc());
+    StcEviction ev;
+    std::uint64_t before = audit::checksRun();
+    for (std::uint64_t g = 0; g < 40; ++g) {
+        ASSERT_TRUE(stc.insert(g, st.entry(g).qac, ev));
+        if (StcMeta *m = stc.peek(g))
+            m->bump(static_cast<unsigned>(g % l.slotsPerGroup), 1);
+    }
+    stc.auditInvariants(st);
+    st.auditInvariants();
+    // The audits are callable (and counted) in every build type,
+    // not only under PROFESS_AUDIT.
+    EXPECT_GT(audit::checksRun(), before);
 }
 
 TEST(StCache, ForEachVisitsAllValid)

@@ -192,6 +192,21 @@ TEST(StatRegistry, RegistersResolvesAndDumps)
     EXPECT_NE(csv.find("z.counter"), std::string::npos);
 }
 
+TEST(StatRegistryDeathTest, RejectsDuplicateNames)
+{
+    // Duplicate dotted names would silently shadow each other in
+    // value() and produce ambiguous report columns; registration
+    // panics instead (scripts/lint_profess.py catches the literal
+    // cases statically, this covers runtime-composed prefixes).
+    StatRegistry reg;
+    std::uint64_t c = 0;
+    reg.addCounter("dup.name", c);
+    EXPECT_DEATH(reg.addCounter("dup.name", c),
+                 "duplicate statistic name");
+    EXPECT_DEATH(reg.addProbe("dup.name", []() { return 0.0; }),
+                 "duplicate statistic name");
+}
+
 TEST(StatRegistry, ComponentNamesStableAcrossConstruction)
 {
     // Two identically-built systems must register the exact same
