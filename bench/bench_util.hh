@@ -24,6 +24,9 @@
  *   PROFESS_EPOCH_TICKS
  *                     epoch-sampler period in MC ticks
  *                     (default 25000; `--epoch-ticks N`)
+ *   PROFESS_SCENARIO  fault/intervention schedule file
+ *                     (`--scenario FILE` equivalent; see
+ *                     src/sim/scenario.hh and EXPERIMENTS.md)
  *
  * Results are bit-identical for every worker count: job seeds are
  * derived from (policy, mix, sweep point), never from scheduling
@@ -43,6 +46,7 @@
 #include "sim/experiment.hh"
 #include "sim/parallel_runner.hh"
 #include "sim/run_telemetry.hh"
+#include "sim/scenario.hh"
 
 namespace profess
 {
@@ -116,14 +120,15 @@ header(const char *what, const char *paper_ref)
  * Experiment runner honoring `--jobs N` / `-j N` / PROFESS_JOBS,
  * announcing the worker count when running parallel.  Also applies
  * the shared observability flags: logging (--quiet/--verbose/
- * --log-level) and telemetry (--trace/--telemetry-out/
- * --epoch-ticks), stripping them from argv.
+ * --log-level), telemetry (--trace/--telemetry-out/--epoch-ticks)
+ * and fault scenarios (--scenario FILE), stripping them from argv.
  */
 inline sim::ParallelRunner
 makeRunner(int &argc, char **argv)
 {
     logging::configure(argc, argv);
     sim::TelemetryConfig::global().initFromArgs(argc, argv);
+    sim::ScenarioConfig::global().initFromArgs(argc, argv);
     unsigned jobs = sim::ParallelRunner::jobsFromArgs(argc, argv);
     if (jobs > 1)
         std::fprintf(stderr, "[profess] running with %u workers "

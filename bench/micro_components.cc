@@ -16,9 +16,9 @@
 #include "core/mdm.hh"
 #include "hybrid/stc.hh"
 #include "mem/channel.hh"
-#include "trace/spec_profiles.hh"
 #include "sim/experiment.hh"
 #include "sim/parallel_runner.hh"
+#include "trace/spec_profiles.hh"
 
 using namespace profess;
 

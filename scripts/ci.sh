@@ -28,6 +28,13 @@
 #      depend on them), then the full test suite once more as
 #      Debug + UBSan + ASan with PROFESS_AUDIT=ON so every
 #      invariant-audit hook runs under both sanitizers.
+#   6. Fault-injection suite: the scenario tests (swap-abort
+#      storms, quiesce audits, RSM/MDM pinning, fault-schedule
+#      determinism) re-run on the stage-5 UBSan+ASan+AUDIT build.
+#      A dedicated stage so a scenario regression is named in the
+#      CI log even when the full stage-5 sweep also catches it,
+#      and so the storm paths are exercised with every invariant
+#      audit compiled in and sanitized.
 #
 # Usage: scripts/ci.sh [jobs]   (default: nproc)
 
@@ -36,7 +43,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
 
-echo "==> [1/5] Debug + TSan: parallel runner tests"
+echo "==> [1/6] Debug + TSan: parallel runner tests"
 cmake -B build-tsan -S . \
     -DCMAKE_BUILD_TYPE=Debug \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -g -O1" \
@@ -46,12 +53,12 @@ TSAN_OPTIONS="halt_on_error=1" \
     ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
         -R 'ThreadPool|AloneCache|Differential|ParallelRunner'
 
-echo "==> [2/5] Release: full suite"
+echo "==> [2/6] Release: full suite"
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "==> [3/5] Kernel perf smoke"
+echo "==> [3/6] Kernel perf smoke"
 cmake --build build -j "$JOBS" --target kernel_hotpath
 ./build/bench/kernel_hotpath --quick --label ci-smoke \
     --out build/kernel_smoke.json
@@ -59,7 +66,7 @@ python3 scripts/bench_report.py compare \
     bench/baselines/kernel_quick.json build/kernel_smoke.json \
     --max-regression 2.0
 
-echo "==> [4/5] Telemetry overhead gate"
+echo "==> [4/6] Telemetry overhead gate"
 # The 2%/15% bounds are far tighter than single-shot noise on a
 # shared CI box, so each mode runs three times (interleaved, to
 # balance load drift) and the gate uses the best run of each —
@@ -94,7 +101,7 @@ python3 scripts/bench_report.py show \
     build/kernel_telemetry_on.json \
     --with-telemetry build/telemetry-artifacts
 
-echo "==> [5/5] Correctness tooling"
+echo "==> [5/6] Correctness tooling"
 python3 scripts/lint_profess.py
 
 if command -v clang-format >/dev/null 2>&1; then
@@ -146,5 +153,13 @@ cmake -B build-ubsan -S . \
 cmake --build build-ubsan -j "$JOBS"
 UBSAN_OPTIONS="print_stacktrace=1" \
     ctest --test-dir build-ubsan --output-on-failure -j "$JOBS"
+
+echo "==> [6/6] Fault-injection scenario suite (UBSan+ASan+AUDIT)"
+# Reuses the stage-5 build: PROFESS_AUDIT=ON means every quiesce
+# audit, rollback invariant and ST/STC structural check actually
+# executes under both sanitizers while faults are being injected.
+UBSAN_OPTIONS="print_stacktrace=1" \
+    ctest --test-dir build-ubsan --output-on-failure -j "$JOBS" \
+        -R 'Scenario'
 
 echo "==> CI passed"

@@ -27,6 +27,15 @@ Static rules that encode repo invariants generic tools cannot know:
                  file includes its own header first; no "../"
                  includes; no <bits/stdc++.h>.
 
+  include-order  Within each contiguous #include block (blocks are
+                 separated by blank lines or other code, matching
+                 .clang-format's IncludeBlocks: Preserve), targets
+                 must be case-sensitively sorted and a block must
+                 not mix <angle> and "quote" styles: system headers
+                 and project headers live in separate blocks.  The
+                 own-header include opening a .cc file is its own
+                 block and is exempt.
+
 Waivers live in scripts/lint_waivers.json as a list of
 {"rule", "path", "pattern", "reason"} objects; a finding is waived
 when rule and path match exactly and the optional pattern regex
@@ -216,6 +225,53 @@ class Linter:
                             "include" % own, line)
                     break
 
+    # --- rule: include-order ------------------------------------
+    def check_include_order(self, path, raw):
+        own = None
+        if path.startswith("src/") and path.endswith(".cc"):
+            candidate = path[len("src/"):-len(".cc")] + ".hh"
+            if os.path.exists(os.path.join(REPO, "src", candidate)):
+                own = candidate
+
+        blocks = []  # list of [(lineno, style, target, line)]
+        current = []
+        for lineno, line in enumerate(raw.splitlines(), 1):
+            m = INCLUDE_RE.match(line)
+            if m:
+                style = "<" if line.lstrip().rstrip().endswith(">") \
+                    else '"'
+                current.append((lineno, style, m.group(1), line))
+            elif current:
+                blocks.append(current)
+                current = []
+        if current:
+            blocks.append(current)
+
+        for block in blocks:
+            # The own-header block of a .cc is exempt (it sorts
+            # before nothing: include-hygiene already pins it
+            # first).
+            if (own is not None and len(block) == 1
+                    and block[0][2] == own):
+                continue
+            styles = {style for _, style, _, _ in block}
+            if len(styles) > 1:
+                lineno, _, _, line = block[0]
+                self.report("include-order", path, lineno,
+                            "include block mixes <angle> and "
+                            "\"quote\" styles; split into separate "
+                            "blocks", line)
+            targets = [t for _, _, t, _ in block]
+            if targets != sorted(targets):
+                for i in range(1, len(block)):
+                    if block[i][2] < block[i - 1][2]:
+                        lineno, _, target, line = block[i]
+                        self.report(
+                            "include-order", path, lineno,
+                            "'%s' breaks case-sensitive sort "
+                            "order (after '%s')"
+                            % (target, block[i - 1][2]), line)
+
     def run(self):
         for top in SOURCE_DIRS:
             for root, _, files in os.walk(os.path.join(REPO, top)):
@@ -232,6 +288,7 @@ class Linter:
                     self.check_rng(path, code)
                     self.check_stat_names(path, code)
                     self.check_includes(path, raw)
+                    self.check_include_order(path, raw)
         return self.findings
 
 

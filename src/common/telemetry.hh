@@ -34,6 +34,7 @@
 #include <cstdio>
 #include <functional>
 #include <string>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -112,6 +113,7 @@ class StatRegistry
 
     mutable std::vector<Entry> entries_;
     mutable bool sorted_ = true;
+    std::unordered_set<std::string> names_; ///< O(1) dup detection
 };
 
 /**

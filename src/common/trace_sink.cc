@@ -20,6 +20,8 @@ traceKindName(TraceKind k)
         return "guidance_case";
       case TraceKind::RsmPeriod:
         return "rsm_period";
+      case TraceKind::ScenarioEvent:
+        return "scenario_event";
       default:
         return "unknown";
     }

@@ -49,6 +49,7 @@ enum class TraceKind : std::uint8_t
     MdmDecide = 0,   ///< one MDM swap evaluation (Sec. 3.2.3)
     GuidanceCase,    ///< ProFess Table-7 classification
     RsmPeriod,       ///< RSM sampling-period rollover (Sec. 3.1.3)
+    ScenarioEvent,   ///< scenario intervention / injected fault
     NumKinds
 };
 

@@ -1,4 +1,5 @@
 #include "core/mdm.hh"
+
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -255,6 +256,8 @@ Mdm::evaluate(const policy::AccessInfo &info, bool treat_vacant,
 policy::Decision
 Mdm::decide(const policy::AccessInfo &info, bool treat_vacant) const
 {
+    if (PROFESS_UNLIKELY(pinnedDecision_ >= 0))
+        return static_cast<policy::Decision>(pinnedDecision_);
     double rem_m2 = 0.0;
     double rem_m1 = 0.0;
     DecidePath path = evaluate(info, treat_vacant, rem_m2, rem_m1);

@@ -179,6 +179,25 @@ class Mdm
     void registerTelemetry(telemetry::StatRegistry &registry,
                            const std::string &prefix) const;
 
+    /**
+     * Force every decide() to return `d` until unpinDecision()
+     * (scenario/test hook).  Pinned decisions bypass the Table 6
+     * evaluation entirely: no path counter or trace record is
+     * produced, so path totals keep reconciling with the number of
+     * genuine evaluations.
+     */
+    void
+    pinDecision(policy::Decision d)
+    {
+        pinnedDecision_ = static_cast<int>(d);
+    }
+
+    /** Release the decision pin. */
+    void unpinDecision() { pinnedDecision_ = -1; }
+
+    /** @return true while decisions are pinned. */
+    bool decisionPinned() const { return pinnedDecision_ >= 0; }
+
     /** @return min_benefit in force. */
     unsigned minBenefit() const { return params_.minBenefit; }
 
@@ -243,6 +262,7 @@ class Mdm
     telemetry::DecisionTraceSink *trace_ = nullptr;
     mutable std::uint64_t
         pathCounts_[static_cast<unsigned>(DecidePath::NumPaths)] = {};
+    int pinnedDecision_ = -1; ///< forced Decision, -1 = unpinned
 };
 
 } // namespace core

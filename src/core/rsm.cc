@@ -104,8 +104,12 @@ Rsm::endPeriod(ProgramId p, ProgState &st, Tick now)
     double a_total =
         st.sm[5].add(static_cast<double>(st.swapTotal + 1));
 
-    st.sfA = (a_m1p / a_totp) / (a_m1s / a_tots);
-    st.sfB = a_total / a_self; // 1 / (self / total)
+    // Pinned factors freeze here; the smoothers above keep running
+    // so an unpin resumes from honestly accumulated history.
+    if (!st.pinned) {
+        st.sfA = (a_m1p / a_totp) / (a_m1s / a_tots);
+        st.sfB = a_total / a_self; // 1 / (self / total)
+    }
 
     if (params_.perRegionStats) {
         PeriodSample s;
@@ -145,6 +149,26 @@ Rsm::endPeriod(ProgramId p, ProgState &st, Tick now)
         trace_->push(r);
     }
     PROFESS_AUDIT_ONLY(auditInvariants());
+}
+
+void
+Rsm::pinFactors(ProgramId p, double sf_a, double sf_b)
+{
+    fatal_if(!(std::isfinite(sf_a) && sf_a > 0.0) ||
+                 !(std::isfinite(sf_b) && sf_b >= 1.0),
+             "pinned factors sf_a=%g sf_b=%g violate SF_A > 0, "
+             "SF_B >= 1",
+             sf_a, sf_b);
+    ProgState &st = state(p);
+    st.sfA = sf_a;
+    st.sfB = sf_b;
+    st.pinned = true;
+}
+
+void
+Rsm::unpinFactors(ProgramId p)
+{
+    state(p).pinned = false;
 }
 
 void

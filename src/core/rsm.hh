@@ -114,6 +114,21 @@ class Rsm
                            const std::string &prefix) const;
 
     /**
+     * Pin a program's slowdown factors (scenario/test hook): the
+     * factors take effect immediately and period rollovers keep all
+     * Table 3 bookkeeping but stop refreshing SF_A/SF_B until
+     * unpinFactors().  Fatal unless sf_a > 0 and finite and
+     * sf_b >= 1 (the ranges auditInvariants() enforces).
+     */
+    void pinFactors(ProgramId p, double sf_a, double sf_b);
+
+    /** Release pinned factors; rollovers refresh them again. */
+    void unpinFactors(ProgramId p);
+
+    /** @return true if the program's factors are pinned. */
+    bool factorsPinned(ProgramId p) const { return state(p).pinned; }
+
+    /**
      * Audit every program's monitor state: slowdown factors finite
      * and positive (SF_B >= 1 since a program's self swaps never
      * exceed its total swaps and smoothing preserves the order),
@@ -136,6 +151,7 @@ class Rsm
         std::uint64_t periodCount = 0;
         ExpSmoother sm[6]; ///< one per Table 3 counter
         double sfA = 1.0, sfB = 1.0;
+        bool pinned = false; ///< factors frozen (pinFactors)
         std::vector<std::uint64_t> perRegion;
         std::vector<PeriodSample> hist;
     };

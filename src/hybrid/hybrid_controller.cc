@@ -260,7 +260,7 @@ HybridController::requestSwap(std::uint64_t group, unsigned slot)
 void
 HybridController::startSwap(std::uint64_t group,
                             unsigned promote_slot, unsigned m1_slot,
-                            StcMeta &meta)
+                            StcMeta &meta, unsigned attempt)
 {
     panic_if(meta.swapping, "double swap on group %llu",
              static_cast<unsigned long long>(group));
@@ -278,8 +278,9 @@ HybridController::startSwap(std::uint64_t group,
         gi.chan->executeSwap(
             gi.m1Addr, gi.m1Addr + (loc - 1) * m2Stride_,
             layout_.blockBytes,
-            [this, group, promote_slot, m1_slot, begin, tid]() {
-                finishSwap(group, promote_slot, m1_slot);
+            [this, group, promote_slot, m1_slot, attempt, begin,
+             tid]() {
+                swapDone(group, promote_slot, m1_slot, attempt);
                 if (chrome_ != nullptr) {
                     chrome_->complete("swap", "hybrid", begin,
                                       eq_.now() - begin, tid);
@@ -291,10 +292,22 @@ HybridController::startSwap(std::uint64_t group,
     gi.chan->executeSwap(
         gi.m1Addr, gi.m1Addr + (loc - 1) * m2Stride_,
         layout_.blockBytes,
-        [this, group, promote_slot, m1_slot]() {
-            finishSwap(group, promote_slot, m1_slot);
+        [this, group, promote_slot, m1_slot, attempt]() {
+            swapDone(group, promote_slot, m1_slot, attempt);
         },
         policy_.slowSwap());
+}
+
+void
+HybridController::swapDone(std::uint64_t group, unsigned promote_slot,
+                           unsigned m1_slot, unsigned attempt)
+{
+    if (PROFESS_UNLIKELY(faults_ != nullptr) &&
+        faults_->swapAborts(group, eq_.now())) {
+        abortSwap(group, promote_slot, m1_slot, attempt);
+        return;
+    }
+    finishSwap(group, promote_slot, m1_slot);
 }
 
 void
@@ -324,6 +337,97 @@ HybridController::finishSwap(std::uint64_t group,
         serve(group, *stc_.peek(group), pa);
         pa = next;
     }
+}
+
+void
+HybridController::abortSwap(std::uint64_t group,
+                            unsigned promote_slot, unsigned m1_slot,
+                            unsigned attempt)
+{
+    (void)m1_slot;
+    stats_.inc("swap_aborts");
+    StcMeta *m = stc_.peek(group);
+    panic_if(m == nullptr, "aborted swap lost its STC entry");
+    // Rollback is implicit: swapSlots() never ran, so the ATB and
+    // QACs still describe the pre-swap state.  Clearing the swapping
+    // flag re-arms the group.
+    m->swapping = false;
+    PROFESS_AUDIT_ONLY(st_.auditGroup(group);
+                       stc_.auditSet(group, st_));
+
+    // Serve waiters before deciding on a retry so an abort can never
+    // wedge the group: they read the unchanged pre-swap locations.
+    // (Serving them may itself start a fresh swap; the retry below
+    // then finds the group busy and drops out.)
+    PendingAccess *pa = groups_[group].swapWaiters.take();
+    while (pa != nullptr) {
+        PendingAccess *next = pa->next;
+        serve(group, *stc_.peek(group), pa);
+        pa = next;
+    }
+
+    if (attempt >= faults_->swapMaxRetries()) {
+        stats_.inc("swap_degraded");
+        faults_->noteSwapDegraded(group, eq_.now());
+        return;
+    }
+    stats_.inc("swap_retries");
+    faults_->noteSwapRetry(group, eq_.now());
+    Cycles backoff = faults_->swapRetryBackoff() << attempt;
+    eq_.scheduleIn(backoff, [this, group, promote_slot, attempt]() {
+        retrySwap(group, promote_slot, attempt + 1);
+    });
+}
+
+void
+HybridController::retrySwap(std::uint64_t group,
+                            unsigned promote_slot, unsigned attempt)
+{
+    StcMeta *m = stc_.peek(group);
+    unsigned loc = (m != nullptr && !m->swapping)
+                       ? st_.locationOf(group, promote_slot)
+                       : 0;
+    if (loc == 0) {
+        // Entry evicted, another swap already in flight, or the
+        // block reached M1 by other means: the retry is moot.
+        stats_.inc("swap_retry_dropped");
+        return;
+    }
+    startSwap(group, promote_slot, st_.slotInM1(group), *m, attempt);
+}
+
+bool
+HybridController::quiescent() const
+{
+    for (const GroupInfo &gi : groups_) {
+        if (gi.fillInFlight || !gi.fillWaiters.empty() ||
+            !gi.swapWaiters.empty())
+            return false;
+    }
+    bool swapping = false;
+    stc_.forEach([&swapping](std::uint64_t, const StcMeta &m) {
+        swapping = swapping || m.swapping;
+    });
+    return !swapping;
+}
+
+void
+HybridController::auditStcQacCoherence() const
+{
+    stc_.forEach([this](std::uint64_t group, const StcMeta &m) {
+        if (m.swapping)
+            return;
+        const StEntry &e = st_.entry(group);
+        for (unsigned s = 0; s < layout_.slotsPerGroup; ++s) {
+            profess_audit(
+                m.qacAtInsert[s] == e.qac[s],
+                "stale q_I snapshot: group %llu slot %u cached %u "
+                "live %u",
+                static_cast<unsigned long long>(group), s,
+                static_cast<unsigned>(m.qacAtInsert[s]),
+                static_cast<unsigned>(e.qac[s]));
+        }
+    });
 }
 
 void

@@ -56,6 +56,38 @@ struct TimerSlot;
 namespace hybrid
 {
 
+/**
+ * Fault-injection hook for deterministic failure testing
+ * (sim::ScenarioController).  When installed, the controller
+ * consults it at every swap completion: an aborted swap never
+ * commits (the ATB/QAC state simply stays pre-swap), waiting
+ * accesses are served from the unchanged locations, and the swap is
+ * re-armed with exponential backoff up to swapMaxRetries(), after
+ * which it degrades gracefully (the group stays consistent and
+ * serviceable, the swap is dropped).  Absent an injector the only
+ * cost is one predicted-not-taken null check per swap completion.
+ */
+class FaultInjector
+{
+  public:
+    virtual ~FaultInjector() = default;
+
+    /** @return true to abort the swap completing on `group` now. */
+    virtual bool swapAborts(std::uint64_t group, Tick now) = 0;
+
+    /** @return retry bound for aborted swaps. */
+    virtual unsigned swapMaxRetries() const = 0;
+
+    /** @return base retry backoff (doubled per attempt). */
+    virtual Cycles swapRetryBackoff() const = 0;
+
+    /** An aborted swap was re-armed. */
+    virtual void noteSwapRetry(std::uint64_t group, Tick now) = 0;
+
+    /** An aborted swap exhausted its retries and was dropped. */
+    virtual void noteSwapDegraded(std::uint64_t group, Tick now) = 0;
+};
+
 /** Memory controller for the hybrid memory. */
 class HybridController : public policy::SwapHost
 {
@@ -184,6 +216,25 @@ class HybridController : public policy::SwapHost
         accessTimer_ = slot;
     }
 
+    /** Install a fault-injection hook (null disables). */
+    void setFaultInjector(FaultInjector *f) { faults_ = f; }
+
+    /**
+     * @return true when no translation fill or swap is in flight on
+     *         any group — the quiesce condition under which
+     *         cross-component audits (auditStcQacCoherence) are
+     *         guaranteed to hold.
+     */
+    bool quiescent() const;
+
+    /**
+     * Audit that every cached, non-swapping group's STC q_I
+     * snapshots agree with the owning ST entry's live QACs (valid
+     * exactly at quiesce points: QACs only change through eviction
+     * updates, which re-sync the snapshots).  Panics on violation.
+     */
+    void auditStcQacCoherence() const;
+
   private:
     /** One access waiting for translation or a swap (pooled). */
     struct PendingAccess
@@ -247,9 +298,16 @@ class HybridController : public policy::SwapHost
     void startFill(std::uint64_t group, PendingAccess *pa);
     void finishFill(std::uint64_t group);
     void startSwap(std::uint64_t group, unsigned promote_slot,
-                   unsigned m1_slot, StcMeta &meta);
+                   unsigned m1_slot, StcMeta &meta,
+                   unsigned attempt = 0);
+    void swapDone(std::uint64_t group, unsigned promote_slot,
+                  unsigned m1_slot, unsigned attempt);
     void finishSwap(std::uint64_t group, unsigned promote_slot,
                     unsigned m1_slot);
+    void abortSwap(std::uint64_t group, unsigned promote_slot,
+                   unsigned m1_slot, unsigned attempt);
+    void retrySwap(std::uint64_t group, unsigned promote_slot,
+                   unsigned attempt);
     void schedulePeriodic();
     void scheduleStatsFold();
     void foldLongResidents();
@@ -294,6 +352,7 @@ class HybridController : public policy::SwapHost
     std::uint64_t &ctrStFills_;
     telemetry::ChromeTraceSink *chrome_ = nullptr;
     telemetry::TimerSlot *accessTimer_ = nullptr;
+    FaultInjector *faults_ = nullptr;
 };
 
 } // namespace hybrid

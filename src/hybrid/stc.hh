@@ -173,6 +173,17 @@ class StCache
         }
     }
 
+    /** Visit every valid entry read-only (audits; no LRU update). */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const auto &w : store_) {
+            if (w.valid)
+                fn(w.group, w.meta);
+        }
+    }
+
     /** Register hit/miss counters and hit rate under `prefix`. */
     void registerTelemetry(telemetry::StatRegistry &registry,
                            const std::string &prefix) const;

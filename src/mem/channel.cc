@@ -15,7 +15,8 @@ Channel::Channel(EventQueue &eq, const TimingParams &m1t,
                  const ModuleGeometry &m2g, const EnergyParams &ep,
                  const ChannelConfig &cfg)
     : eq_(eq), m1t_(m1t), m2t_(m2t), m1g_(m1g), m2g_(m2g), cfg_(cfg),
-      banks1_(m1g.banks), banks2_(m2g.banks), energy_(ep),
+      m2BaseTwr_(m2t.tWR), banks1_(m1g.banks), banks2_(m2g.banks),
+      energy_(ep),
       ctrDemandReads_(stats_.counterRef("demand_reads")),
       ctrDemandWrites_(stats_.counterRef("demand_writes")),
       ctrStReads_(stats_.counterRef("st_reads")),
@@ -65,6 +66,24 @@ Cycles
 Channel::swapLatency(std::uint64_t block_bytes) const
 {
     return swapLatencyCycles(m1t_, m2t_, block_bytes);
+}
+
+void
+Channel::setM2WriteScale(double scale)
+{
+    double twr = static_cast<double>(m2BaseTwr_) * scale;
+    m2t_.tWR = twr < 1.0 ? 1 : static_cast<Cycles>(twr + 0.5);
+}
+
+void
+Channel::injectBankBusy(Module m, Tick until)
+{
+    std::vector<Bank> &banks = m == Module::M1 ? banks1_ : banks2_;
+    for (Bank &b : banks) {
+        b.readyAct = std::max(b.readyAct, until);
+        b.readyCol = std::max(b.readyCol, until);
+    }
+    requestWake(until);
 }
 
 void

@@ -6,6 +6,7 @@
 
 #include "common/rng.hh"
 #include "sim/run_telemetry.hh"
+#include "sim/scenario.hh"
 
 namespace profess
 {
@@ -147,6 +148,23 @@ ExperimentRunner::run(const std::string &policy,
 
     System sys(base_, policy, std::move(sources));
 
+    // Scenario interventions, when loaded, attach before telemetry
+    // so injected events are visible to the sinks.  The seed is
+    // derived purely from the job identity (never from worker id or
+    // batch position), keeping fault schedules bit-identical at any
+    // --jobs N.
+    std::unique_ptr<ScenarioController> scenario;
+    const ScenarioConfig &sc = ScenarioConfig::global();
+    if (sc.loaded()) {
+        std::string joined;
+        for (const auto &p : programs)
+            joined += (joined.empty() ? "" : "+") + p;
+        scenario = std::make_unique<ScenarioController>(
+            sc.schedule,
+            deriveSeed(seed_base ^ 0x5ce7a810u, policy, joined));
+        scenario->attach(sys);
+    }
+
     // Telemetry is observational only: the bundle is attached after
     // construction and never feeds back into the simulation, so
     // labelled runs stay bit-identical to clean ones.
@@ -156,12 +174,21 @@ ExperimentRunner::run(const std::string &policy,
         telemetry = std::make_unique<RunTelemetry>(
             tc, label + "_" + policy);
         sys.attachTelemetry(*telemetry);
+        if (scenario != nullptr) {
+            scenario->registerTelemetry(telemetry->registry(),
+                                        "scenario");
+            scenario->setTraceSink(telemetry->decisionSink());
+        }
     }
 
     RunResult r;
     r.policy = policy;
     r.programs = programs;
     r.completed = sys.run();
+    // The extraction-order audit covers every run's queue — serial
+    // or parallel-worker — in every build type (the per-extraction
+    // state it checks is itself PROFESS_AUDIT-gated).
+    sys.eventQueue().auditInvariants();
 
     unsigned n = sys.numPrograms();
     std::uint64_t served_m1_total = 0;
@@ -237,10 +264,15 @@ ExperimentRunner::aloneIpc(const std::string &policy,
                            const std::string &program,
                            std::uint64_t seed_base)
 {
-    char key[160];
-    std::snprintf(key, sizeof(key), "%016llx/%llu/%s/%s",
+    // The scenario fingerprint keys the cache too: reference runs
+    // executed under a fault schedule must never serve as baselines
+    // for scenario-free runs (or for a different schedule).
+    char key[192];
+    std::snprintf(key, sizeof(key), "%016llx/%016llx/%llu/%s/%s",
                   static_cast<unsigned long long>(
                       configFingerprint(base_, footprintScale_)),
+                  static_cast<unsigned long long>(
+                      ScenarioConfig::global().fingerprint()),
                   static_cast<unsigned long long>(seed_base),
                   policy.c_str(), program.c_str());
     return cache_->getOrCompute(key, [&]() {

@@ -20,6 +20,11 @@
  * component and forwards the sinks; ExperimentRunner::run() creates
  * the bundle for labelled runs only (stand-alone IPC_SP reference
  * runs have no label and always run clean).
+ *
+ * The fault-injection subsystem (src/sim/scenario.hh) mirrors this
+ * pattern: ScenarioConfig is the PROFESS_SCENARIO / --scenario FILE
+ * switchboard, and ExperimentRunner::run() registers scenario event
+ * counters and trace records into this bundle when both are active.
  */
 
 #ifndef PROFESS_SIM_RUN_TELEMETRY_HH

@@ -132,8 +132,14 @@ class System : public cpu::MemPort
         return *controller_;
     }
 
+    /** @return the hybrid controller (scenario/fault injection). */
+    hybrid::HybridController &controller() { return *controller_; }
+
     /** @return the memory system. */
     const mem::MemorySystem &memory() const { return *memory_; }
+
+    /** @return the memory system (scenario/fault injection). */
+    mem::MemorySystem &memory() { return *memory_; }
 
     /** @return the page allocator. */
     const os::PageAllocator &allocator() const { return *allocator_; }

@@ -11,9 +11,13 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <memory>
 
+#include "common/invariant.hh"
 #include "common/thread_pool.hh"
 #include "sim/parallel_runner.hh"
+#include "sim/system.hh"
+#include "trace/spec_profiles.hh"
 
 using namespace profess;
 using namespace profess::sim;
@@ -303,4 +307,31 @@ TEST(ParallelRunner, ForEachCoversAllIndices)
                    [&hits](std::size_t i) { hits[i] = 1; });
     for (std::size_t i = 0; i < hits.size(); ++i)
         EXPECT_EQ(hits[i], 1) << i;
+}
+
+TEST(ParallelRunner, PerWorkerQueueAuditUnderJobs)
+{
+    // Satellite of the scenario PR: the EventQueue extraction-order
+    // audit must hold on every parallel worker's private queue, not
+    // just the serial path.  Run under TSan in ci.sh stage 1: the
+    // concurrent audit bookkeeping (audit::checksRun() is a relaxed
+    // atomic) must be race-free across workers.
+    std::uint64_t audits_before = audit::checksRun();
+    ParallelRunner runner(8);
+    runner.setProgress(false);
+    std::atomic<unsigned> audited{0};
+    runner.forEach(8, [&audited](std::size_t i) {
+        SystemConfig c = SystemConfig::singleCore();
+        c.core.instrQuota = 30000;
+        c.core.warmupInstr = 10000;
+        std::vector<std::unique_ptr<trace::TraceSource>> src;
+        src.push_back(trace::makeSpecSource(
+            "mcf", trace::defaultScale, 3 + i));
+        System sys(c, "pom", std::move(src));
+        ASSERT_TRUE(sys.run());
+        sys.eventQueue().auditInvariants();
+        ++audited;
+    });
+    EXPECT_EQ(audited.load(), 8u);
+    EXPECT_GT(audit::checksRun(), audits_before);
 }

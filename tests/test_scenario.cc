@@ -1,0 +1,444 @@
+/**
+ * @file
+ * Tests for the deterministic fault-injection / scenario subsystem
+ * (src/sim/scenario.hh) and the audits it unblocks:
+ *
+ *  - schedule building, file parsing and fingerprinting;
+ *  - off-mode differential: a run with no scenario attached is
+ *    bit-identical to one with an empty schedule attached;
+ *  - injected-fault determinism: a fault schedule produces
+ *    bit-identical results at --jobs 1 and --jobs 8;
+ *  - swap-abort storms: every abort rolls back and either retries
+ *    or degrades (exact accounting), no swap group ever wedges;
+ *  - stat/trace reconciliation: scenario counters equal the
+ *    decision sink's ScenarioEvent total exactly;
+ *  - Table 7 "as if vacant" forced via the RSM factor-pinning hook
+ *    through the full controller path;
+ *  - cross-component q_I coherence audits at quiesce points.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/invariant.hh"
+#include "common/trace_sink.hh"
+#include "core/profess.hh"
+#include "sim/experiment.hh"
+#include "sim/parallel_runner.hh"
+#include "sim/scenario.hh"
+#include "sim/system.hh"
+#include "trace/spec_profiles.hh"
+
+using namespace profess;
+using namespace profess::sim;
+
+namespace
+{
+
+SystemConfig
+tinyConfig()
+{
+    SystemConfig c = SystemConfig::quadCore();
+    c.core.instrQuota = 60000;
+    c.core.warmupInstr = 20000;
+    return c;
+}
+
+std::vector<std::unique_ptr<trace::TraceSource>>
+fourSources(std::uint64_t seed)
+{
+    std::vector<std::unique_ptr<trace::TraceSource>> v;
+    const char *names[] = {"mcf", "lbm", "omnetpp", "zeusmp"};
+    for (unsigned i = 0; i < 4; ++i) {
+        v.push_back(trace::makeSpecSource(
+            names[i], trace::defaultScale, seed + i * 7));
+    }
+    return v;
+}
+
+/** Fingerprint of one run's externally visible outcome. */
+struct RunDigest
+{
+    std::vector<double> ipc;
+    std::uint64_t servedTotal = 0;
+    std::uint64_t swaps = 0;
+    Tick finalTick = 0;
+    double seconds = 0.0;
+};
+
+RunDigest
+digest(System &sys)
+{
+    RunDigest d;
+    for (unsigned i = 0; i < sys.numCores(); ++i)
+        d.ipc.push_back(sys.core(i).ipcAtQuota());
+    d.servedTotal = sys.controller().servedTotal();
+    d.swaps = sys.controller().swapCount();
+    d.finalTick = sys.now();
+    d.seconds = sys.measuredSeconds();
+    return d;
+}
+
+void
+expectIdentical(const RunDigest &a, const RunDigest &b)
+{
+    ASSERT_EQ(a.ipc.size(), b.ipc.size());
+    for (std::size_t i = 0; i < a.ipc.size(); ++i)
+        EXPECT_EQ(a.ipc[i], b.ipc[i]) << "ipc[" << i << "]";
+    EXPECT_EQ(a.servedTotal, b.servedTotal);
+    EXPECT_EQ(a.swaps, b.swaps);
+    EXPECT_EQ(a.finalTick, b.finalTick);
+    EXPECT_EQ(a.seconds, b.seconds);
+}
+
+/** Every field of a RunResult must match bit-for-bit. */
+void
+expectIdentical(const RunResult &a, const RunResult &b)
+{
+    EXPECT_EQ(a.policy, b.policy);
+    EXPECT_EQ(a.programs, b.programs);
+    ASSERT_EQ(a.ipc.size(), b.ipc.size());
+    for (std::size_t i = 0; i < a.ipc.size(); ++i)
+        EXPECT_EQ(a.ipc[i], b.ipc[i]) << "ipc[" << i << "]";
+    EXPECT_EQ(a.served, b.served);
+    EXPECT_EQ(a.servedM1, b.servedM1);
+    EXPECT_EQ(a.seconds, b.seconds);
+    EXPECT_EQ(a.joules, b.joules);
+    EXPECT_EQ(a.servedTotal, b.servedTotal);
+    EXPECT_EQ(a.swaps, b.swaps);
+    EXPECT_EQ(a.stcHitRate, b.stcHitRate);
+    EXPECT_EQ(a.meanReadLatencyNs, b.meanReadLatencyNs);
+    EXPECT_EQ(a.completed, b.completed);
+}
+
+/** Restores the process-wide ScenarioConfig even when a test
+ *  fails mid-way (EXPECT failures fall through; this guards the
+ *  global against leaking into later suites). */
+class GlobalScenarioGuard
+{
+  public:
+    ~GlobalScenarioGuard() { ScenarioConfig::global().clear(); }
+};
+
+} // anonymous namespace
+
+// ---------------------------------------------------------------
+// Schedule construction, parsing and fingerprinting.
+// ---------------------------------------------------------------
+
+TEST(ScenarioSchedule, BuilderAndFingerprint)
+{
+    ScenarioSchedule empty;
+    EXPECT_TRUE(empty.empty());
+    EXPECT_EQ(empty.fingerprint(), 0u);
+
+    ScenarioSchedule a;
+    a.writeSpike(1000, 5000, 4.0).swapAbortWindow(2000, 8000, 0.25);
+    EXPECT_FALSE(a.empty());
+    EXPECT_EQ(a.interventions().size(), 2u);
+    EXPECT_NE(a.fingerprint(), 0u);
+
+    // Same schedule built again: same fingerprint.
+    ScenarioSchedule b;
+    b.writeSpike(1000, 5000, 4.0).swapAbortWindow(2000, 8000, 0.25);
+    EXPECT_EQ(a.fingerprint(), b.fingerprint());
+
+    // Any field change must move the fingerprint.
+    ScenarioSchedule c;
+    c.writeSpike(1000, 5000, 4.5).swapAbortWindow(2000, 8000, 0.25);
+    EXPECT_NE(a.fingerprint(), c.fingerprint());
+
+    // Order matters (interventions can overlap/override).
+    ScenarioSchedule d;
+    d.swapAbortWindow(2000, 8000, 0.25).writeSpike(1000, 5000, 4.0);
+    EXPECT_NE(a.fingerprint(), d.fingerprint());
+}
+
+TEST(ScenarioSchedule, FileParseMatchesBuilder)
+{
+    std::string path =
+        ::testing::TempDir() + "/profess_scenario_test.txt";
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("# fault sweep fixture\n"
+               "at=1000 kind=write_spike duration=5000 scale=4.0\n"
+               "\n"
+               "at=2000 kind=swap_abort duration=8000 "
+               "probability=0.25 max_retries=3 backoff=256\n"
+               "at=9000 kind=pin_rsm program=0 sf_a=4.0 sf_b=4.0\n"
+               "at=9500 kind=quiesce_audit\n",
+               f);
+    std::fclose(f);
+
+    ScenarioSchedule parsed = ScenarioSchedule::fromFile(path);
+    ASSERT_EQ(parsed.interventions().size(), 4u);
+
+    ScenarioSchedule built;
+    built.writeSpike(1000, 5000, 4.0)
+        .swapAbortWindow(2000, 8000, 0.25, 3, 256)
+        .pinRsmFactors(9000, 0, 4.0, 4.0)
+        .quiesceAudit(9500);
+    EXPECT_EQ(parsed.fingerprint(), built.fingerprint());
+    std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------
+// Off-mode differential: attaching a controller with an EMPTY
+// schedule must be bit-identical to not attaching one at all.  The
+// only residue is the predicted-not-taken fault hook at swap
+// completion, which must never fire.
+// ---------------------------------------------------------------
+
+TEST(ScenarioOffMode, EmptyScheduleBitIdentical)
+{
+    System bare(tinyConfig(), "profess", fourSources(3));
+    ASSERT_TRUE(bare.run());
+    RunDigest base = digest(bare);
+
+    System sys(tinyConfig(), "profess", fourSources(3));
+    ScenarioSchedule empty;
+    ScenarioController ctrl(empty, deriveSeed(42, "profess", "mix"));
+    ctrl.attach(sys);
+    ASSERT_TRUE(sys.run());
+
+    expectIdentical(base, digest(sys));
+    EXPECT_EQ(ctrl.eventTotal(), 0u);
+}
+
+// ---------------------------------------------------------------
+// Injected-fault determinism: with a loaded schedule the results
+// must be bit-identical at --jobs 1 and --jobs 8 (the scenario seed
+// derives from the job identity, never the worker), and must
+// differ from a clean run (the faults really happened).
+// ---------------------------------------------------------------
+
+TEST(ScenarioDeterminism, FaultScheduleIdenticalAcrossJobs)
+{
+    GlobalScenarioGuard guard;
+
+    SystemConfig cfg = tinyConfig();
+    std::vector<RunJob> batch;
+    for (const char *policy : {"profess", "pom", "mempod"}) {
+        RunJob j;
+        j.cfg = cfg;
+        j.policy = policy;
+        j.programs = {"mcf", "lbm", "omnetpp", "zeusmp"};
+        j.baseSeed = 3;
+        batch.push_back(j);
+    }
+
+    // Clean baseline first, then the same batch under faults.
+    std::vector<MultiMetrics> clean;
+    {
+        AloneIpcCache cache;
+        ParallelRunner runner(1, &cache);
+        runner.setProgress(false);
+        clean = runner.run(batch);
+    }
+
+    ScenarioSchedule s;
+    s.writeSpike(5000, 40000, 6.0)
+        .bankBusy(20000, 4000)
+        .swapAbortWindow(0, 0, 0.3, 3, 128);
+    ScenarioConfig::global().setSchedule(s);
+
+    std::vector<MultiMetrics> serial;
+    {
+        AloneIpcCache cache;
+        ParallelRunner runner(1, &cache);
+        runner.setProgress(false);
+        serial = runner.run(batch);
+    }
+    std::vector<MultiMetrics> parallel;
+    {
+        AloneIpcCache cache;
+        ParallelRunner runner(8, &cache);
+        runner.setProgress(false);
+        parallel = runner.run(batch);
+    }
+
+    ASSERT_EQ(serial.size(), batch.size());
+    ASSERT_EQ(parallel.size(), batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i)
+        expectIdentical(serial[i].run, parallel[i].run);
+
+    // The faults must actually have perturbed the simulation.
+    bool any_diff = false;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        for (std::size_t c = 0; c < clean[i].run.ipc.size(); ++c)
+            any_diff |= clean[i].run.ipc[c] != serial[i].run.ipc[c];
+    }
+    EXPECT_TRUE(any_diff)
+        << "fault schedule had no observable effect";
+}
+
+// ---------------------------------------------------------------
+// Swap-abort storm: at probability 0.5 every completing swap has a
+// coin-flip abort.  The run must still complete (no wedged swap
+// groups), every abort must be followed by exactly one retry or
+// one degradation, and every invariant audit must stay green.
+// ---------------------------------------------------------------
+
+TEST(ScenarioSwapAbort, StormRetriesRollsBackAndCompletes)
+{
+    std::uint64_t audits_before = audit::checksRun();
+
+    System sys(tinyConfig(), "profess", fourSources(3));
+    ScenarioSchedule s;
+    s.swapAbortWindow(/*at=*/0, /*duration=*/0, /*probability=*/0.5,
+                      /*max_retries=*/3, /*backoff=*/64);
+    ScenarioController ctrl(s, deriveSeed(7, "profess", "storm"));
+    ctrl.attach(sys);
+
+    // Completion under a 50% abort storm is the wedge-freedom
+    // proof: a wedged group would stall its cores forever.
+    ASSERT_TRUE(sys.run());
+
+    std::uint64_t injected = ctrl.counter("swap_abort_injected");
+    std::uint64_t retries = ctrl.counter("swap_retry");
+    std::uint64_t degraded = ctrl.counter("swap_degraded");
+    EXPECT_GT(injected, 0u);
+    EXPECT_GT(retries, 0u);
+
+    // Exact accounting: every abort is immediately either retried
+    // or degraded, nothing is double-counted or lost.
+    EXPECT_EQ(injected, retries + degraded);
+
+    // The controller's own counters mirror the scenario's (modulo
+    // the warm-up reset: the controller counts only post-reset
+    // events, so it can never exceed the scenario's totals).
+    const StatSet &cs = sys.controller().stats();
+    EXPECT_LE(cs.counter("swap_aborts"), injected);
+    EXPECT_EQ(cs.counter("swap_aborts"),
+              cs.counter("swap_retries") +
+                  cs.counter("swap_degraded"));
+
+    // Abort rate over completion attempts must clear the >=10%
+    // storm bar from the acceptance criteria (p=0.5 gives ~50%).
+    std::uint64_t attempts = injected + sys.controller().swapCount();
+    ASSERT_GT(attempts, 0u);
+    EXPECT_GE(injected * 10, attempts);
+
+    // Post-run structural audits: ST permutations, STC residency,
+    // queue ordering — all must have survived the storm.
+    sys.auditInvariants();
+    EXPECT_GT(audit::checksRun(), audits_before);
+}
+
+// ---------------------------------------------------------------
+// Stat/trace reconciliation: every scenario event is mirrored 1:1
+// into the decision trace, so the StatSet total and the sink's
+// ScenarioEvent kind-total must match exactly.
+// ---------------------------------------------------------------
+
+TEST(ScenarioTrace, StatAndTraceTotalsReconcile)
+{
+    telemetry::DecisionTraceSink sink;
+
+    System sys(tinyConfig(), "profess", fourSources(3));
+    ScenarioSchedule s;
+    s.writeSpike(2000, 10000, 4.0)
+        .bankBusy(15000, 2000)
+        .swapAbortWindow(0, 0, 0.4, 2, 64)
+        .pinRsmFactors(30000, 0, 2.0, 2.0)
+        .unpinRsmFactors(45000, 0)
+        .quiesceAudit(25000)
+        .quiesceAudit(50000);
+    ScenarioController ctrl(s, deriveSeed(11, "profess", "trace"));
+    ctrl.setTraceSink(&sink);
+    ctrl.attach(sys);
+    ASSERT_TRUE(sys.run());
+
+    EXPECT_GT(ctrl.eventTotal(), 0u);
+    EXPECT_EQ(ctrl.eventTotal(),
+              sink.kindTotal(telemetry::TraceKind::ScenarioEvent));
+}
+
+// ---------------------------------------------------------------
+// Satellite: Table 7 "as if vacant" (Case 1) exercised through the
+// full controller access path.  Pinning program 0 to SF 4.0 while
+// the others sit at 1.0 makes its cross-program accesses classify
+// as Case 1 (a 4x-slowed program may treat occupied M1 slots of
+// unslowed owners as if vacant) without hand-crafting RSM history.
+// ---------------------------------------------------------------
+
+TEST(ScenarioRsmPin, Table7AsIfVacantFullController)
+{
+    System sys(tinyConfig(), "profess", fourSources(3));
+    ScenarioSchedule s;
+    s.pinRsmFactors(0, 0, 4.0, 4.0);
+    for (int p = 1; p < 4; ++p)
+        s.pinRsmFactors(0, p, 1.0, 1.0);
+    ScenarioController ctrl(s, deriveSeed(5, "profess", "table7"));
+    ctrl.attach(sys);
+    ASSERT_TRUE(sys.run());
+
+    core::ProfessPolicy *pol = sys.professPolicy();
+    ASSERT_NE(pol, nullptr);
+
+    // The pins were applied and held for the whole run.
+    EXPECT_EQ(ctrl.counter("rsm_pin"), 4u);
+    EXPECT_TRUE(pol->rsm().factorsPinned(0));
+    EXPECT_EQ(pol->rsm().sfA(0), 4.0);
+    EXPECT_EQ(pol->rsm().sfB(0), 4.0);
+    EXPECT_EQ(pol->rsm().sfA(1), 1.0);
+
+    // The guidance distribution shows Case 1 decisions flowing
+    // through HybridController::access -> policy -> MDM.
+    using GC = core::ProfessPolicy::GuidanceCase;
+    EXPECT_GT(pol->caseCount(GC::Case1), 0u);
+    EXPECT_GT(sys.controller().swapCount(), 0u);
+    sys.auditInvariants();
+}
+
+// ---------------------------------------------------------------
+// Satellite: cross-component coherence at quiesce points.  At each
+// granted quiesce audit the STC's cached q_I snapshots are checked
+// against the owning ST entries' live QACs; deferral accounting
+// must close (every request either ran or gave up).
+// ---------------------------------------------------------------
+
+TEST(ScenarioQuiesce, QacCoherenceAuditsRun)
+{
+    std::uint64_t audits_before = audit::checksRun();
+
+    System sys(tinyConfig(), "profess", fourSources(3));
+    ScenarioSchedule s;
+    const unsigned requests = 6;
+    for (unsigned i = 0; i < requests; ++i)
+        s.quiesceAudit(5000 + i * 7000);
+    ScenarioController ctrl(s, deriveSeed(13, "profess", "quiesce"));
+    ctrl.attach(sys);
+    ASSERT_TRUE(sys.run());
+
+    std::uint64_t ran = ctrl.counter("quiesce_audit");
+    std::uint64_t gaveup = ctrl.counter("quiesce_giveup");
+    EXPECT_EQ(ran + gaveup, requests);
+    EXPECT_GT(ran, 0u) << "no quiesce point was ever reached";
+
+    // The audits really executed checks (q_I coherence + system
+    // structural audits at each quiesce point).
+    EXPECT_GT(audit::checksRun(), audits_before);
+}
+
+// ---------------------------------------------------------------
+// MDM decision pin: forcing NoSwap must suppress all swaps from
+// the pin tick on; forcing from tick 0 yields a swap-free run.
+// ---------------------------------------------------------------
+
+TEST(ScenarioMdmPin, ForcedNoSwapSuppressesSwaps)
+{
+    System sys(tinyConfig(), "mdm", fourSources(3));
+    ScenarioSchedule s;
+    s.pinMdmDecision(0, /*swap=*/false);
+    ScenarioController ctrl(s, deriveSeed(17, "mdm", "pin"));
+    ctrl.attach(sys);
+    ASSERT_TRUE(sys.run());
+
+    EXPECT_EQ(ctrl.counter("mdm_pin"), 1u);
+    EXPECT_EQ(sys.controller().swapCount(), 0u);
+}

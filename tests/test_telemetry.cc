@@ -207,6 +207,33 @@ TEST(StatRegistryDeathTest, RejectsDuplicateNames)
                  "duplicate statistic name");
 }
 
+TEST(StatRegistry, ScalesToThousandsOfRegistrations)
+{
+    // Regression for the O(n^2) duplicate scan: contains() and the
+    // addEntry() duplicate check are hash-set backed, so a few
+    // thousand registrations (parallel sweeps register per-channel,
+    // per-core and per-policy sets) stay effectively free.
+    StatRegistry reg;
+    const std::size_t n = 4000;
+    std::vector<std::uint64_t> storage(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        storage[i] = i;
+        reg.addCounter("bulk.c" + std::to_string(i), storage[i]);
+    }
+    EXPECT_EQ(reg.size(), n);
+    for (std::size_t i = 0; i < n; i += 97)
+        EXPECT_TRUE(reg.contains("bulk.c" + std::to_string(i)));
+    EXPECT_FALSE(reg.contains("bulk.c" + std::to_string(n)));
+    EXPECT_FALSE(reg.contains("bulk"));
+    EXPECT_EQ(reg.value("bulk.c1234"), 1234.0);
+
+    // names() stays fully sorted even at this size.
+    std::vector<std::string> names = reg.names();
+    ASSERT_EQ(names.size(), n);
+    for (std::size_t i = 1; i < names.size(); ++i)
+        EXPECT_LT(names[i - 1], names[i]);
+}
+
 TEST(StatRegistry, ComponentNamesStableAcrossConstruction)
 {
     // Two identically-built systems must register the exact same
