@@ -20,6 +20,15 @@ Subcommands:
                            total ns/access (min over repeated runs,
                            the noise-robust estimator for tight
                            overhead gates on shared CI machines)
+  metrics-diff BASE CAND [opts...]
+                           diff two OpenMetrics exposition files
+                           (--metrics-out output) series-by-series;
+                           delegates to scripts/metrics_diff.py, so
+                           its options (--rel-threshold,
+                           --abs-threshold, --ignore, ...) apply
+                           unchanged.  Pairs a perf-trajectory
+                           comparison with a metric-level one in a
+                           single tool invocation.
 
 show and record accept --with-telemetry DIR: for each run of a
 result file, DIR/<run name>/manifest.json (written by kernel_hotpath
@@ -229,6 +238,14 @@ def cmd_best(args):
     return 0
 
 
+def cmd_metrics_diff(args):
+    # Late import so bench-only uses never touch the sibling module.
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+    import metrics_diff
+
+    return metrics_diff.main(args.args)
+
+
 def main():
     p = argparse.ArgumentParser(description=__doc__)
     sub = p.add_subparsers(dest="cmd", required=True)
@@ -267,6 +284,17 @@ def main():
     s.add_argument("files", nargs="+")
     s.add_argument("--out", required=True)
     s.set_defaults(fn=cmd_best)
+
+    s = sub.add_parser(
+        "metrics-diff",
+        help="diff two OpenMetrics expositions (metrics_diff.py)",
+    )
+    s.add_argument(
+        "args",
+        nargs=argparse.REMAINDER,
+        help="arguments passed through to metrics_diff.py",
+    )
+    s.set_defaults(fn=cmd_metrics_diff)
 
     args = p.parse_args()
     sys.exit(args.fn(args))

@@ -14,13 +14,19 @@
 #      CI-noise variance while still catching algorithmic
 #      regressions of the simulation kernel.
 #   4. Telemetry overhead: kernel_hotpath --quick twice more,
-#      telemetry off and fully on (--trace --telemetry-out).
-#      Off must stay within 2% of the checked-in baseline on the
-#      aggregate ns/access (the disabled instrumentation is one
-#      predictable branch per site); on must stay within 15% of
-#      the off run measured back-to-back on the same machine.
-#      The generated manifests/JSONL/chrome traces are uploaded
-#      as CI artifacts (see .github/workflows/ci.yml).
+#      telemetry off and fully on (--trace --telemetry-out
+#      --metrics-out, which also turns on latency-span
+#      attribution).  Off must stay within 2% of the checked-in
+#      baseline on the aggregate ns/access (the disabled
+#      instrumentation is one predictable branch per site); on
+#      must stay within 15% of the off run measured back-to-back
+#      on the same machine.  The on run's OpenMetrics exposition
+#      is then diffed against bench/baselines/kernel_quick.prom
+#      (scripts/metrics_diff.py) with generous thresholds — a
+#      metric-level regression tripwire next to the wall-clock
+#      one.  The generated manifests/JSONL/chrome traces and
+#      .prom expositions are uploaded as CI artifacts (see
+#      .github/workflows/ci.yml).
 #   5. Correctness tooling: the domain linter
 #      (scripts/lint_profess.py), clang-format in check-only mode
 #      and clang-tidy over src/ (both skipped with a notice when
@@ -76,6 +82,7 @@ for i in 1 2 3; do
         --out "build/kernel_telemetry_off.$i.json"
     ./build/bench/kernel_hotpath --quick --label telemetry-on \
         --trace --telemetry-out build/telemetry-artifacts \
+        --metrics-out "build/kernel_telemetry_on.$i.prom" \
         --out "build/kernel_telemetry_on.$i.json"
 done
 python3 scripts/bench_report.py best \
@@ -100,6 +107,19 @@ python3 scripts/bench_report.py compare \
 python3 scripts/bench_report.py show \
     build/kernel_telemetry_on.json \
     --with-telemetry build/telemetry-artifacts
+# Metric-level tripwire: the exposition holds only deterministic
+# simulation state (counters, probes, latency histograms — no wall
+# clock), so every on-run .prom of this machine is identical; run 1
+# stands in for all three.  Thresholds are generous — both bounds
+# must be exceeded to fail — and --ignore-missing keeps newly added
+# metrics from failing CI before the baseline is regenerated
+# (scripts/bench_report.py metrics-diff is the same tool).  The
+# exact-match guarantees live in tests/test_metrics.cc.
+python3 scripts/metrics_diff.py \
+    bench/baselines/kernel_quick.prom \
+    build/kernel_telemetry_on.1.prom \
+    --rel-threshold 0.5 --abs-threshold 1e-6 \
+    --ignore-missing --require-eof --quiet
 
 echo "==> [5/6] Correctness tooling"
 python3 scripts/lint_profess.py

@@ -1,0 +1,204 @@
+#!/usr/bin/env python3
+"""Diff two OpenMetrics exposition files series-by-series.
+
+Parses the text exposition written by common/openmetrics.cc (also
+accepts any plain OpenMetrics/Prometheus text format) into a map of
+(sample name, sorted label set) -> value, then reports every series
+whose value differs between BASE and CAND beyond the configured
+thresholds.  The CI regression gate and the cross-run fairness
+recipe in EXPERIMENTS.md both run on top of this.
+
+A series fails when BOTH thresholds are exceeded: the absolute
+delta is > --abs-threshold AND the relative delta is
+> --rel-threshold.  With the defaults (both 0) any difference at
+all fails, which is the exact-match mode used by the determinism
+tests (jobs=1 vs jobs=8 must produce byte-identical metrics, so a
+zero-threshold diff of their expositions must report nothing).
+
+Series present in only one file are always reported; with
+--ignore-missing they are listed but do not fail the diff (useful
+against a checked-in baseline produced by an older binary).
+--ignore REGEX drops matching series entirely (matched against the
+rendered "name{labels}" form; repeatable).  Timing-derived series
+(wall-clock seconds, RSS, ns/access) are inherently noisy across
+machines, so gates against checked-in baselines typically pass
+--ignore for those families plus generous thresholds for the rest.
+
+Only the standard library is used.
+"""
+
+import argparse
+import re
+import signal
+import sys
+
+# Die quietly when output is piped into head & co.
+if hasattr(signal, "SIGPIPE"):
+    signal.signal(signal.SIGPIPE, signal.SIG_DFL)
+
+# One sample line: name, optional {labels}, value (timestamps and
+# exemplars are not emitted by our writer and not supported here).
+SAMPLE_RE = re.compile(
+    r"^([A-Za-z_:][A-Za-z0-9_:]*)"  # sample name
+    r"(?:\{(.*)\})?"                # label set (raw, parsed below)
+    r"\s+(\S+)\s*$"                 # value
+)
+LABEL_RE = re.compile(r'([A-Za-z_][A-Za-z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def unescape(value):
+    """Undo OpenMetrics label-value escaping (\\\\, \\", \\n)."""
+    out = []
+    i = 0
+    while i < len(value):
+        c = value[i]
+        if c == "\\" and i + 1 < len(value):
+            n = value[i + 1]
+            out.append({"n": "\n", "\\": "\\", '"': '"'}.get(n, n))
+            i += 2
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def parse_exposition(path):
+    """Parse one exposition file.
+
+    Returns (series, saw_eof) where series maps
+    (sample name, tuple of sorted (label, value) pairs) -> float.
+    Exits with an error on a duplicated series or a malformed line.
+    """
+    series = {}
+    saw_eof = False
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            if line.startswith("#"):
+                saw_eof = line.strip() == "# EOF"
+                continue
+            if saw_eof:
+                sys.exit(f"{path}:{lineno}: sample after # EOF")
+            m = SAMPLE_RE.match(line)
+            if m is None:
+                sys.exit(f"{path}:{lineno}: unparseable sample line:"
+                         f" {line!r}")
+            name, raw_labels, raw_value = m.groups()
+            labels = []
+            if raw_labels:
+                spans = list(LABEL_RE.finditer(raw_labels))
+                rebuilt = ",".join(s.group(0) for s in spans)
+                if rebuilt != raw_labels:
+                    sys.exit(f"{path}:{lineno}: malformed label set:"
+                             f" {raw_labels!r}")
+                labels = [(s.group(1), unescape(s.group(2)))
+                          for s in spans]
+            try:
+                value = float(raw_value)
+            except ValueError:
+                sys.exit(f"{path}:{lineno}: bad value {raw_value!r}")
+            key = (name, tuple(sorted(labels)))
+            if key in series:
+                sys.exit(f"{path}:{lineno}: duplicate series"
+                         f" {render(key)}")
+            series[key] = value
+    return series, saw_eof
+
+
+def render(key):
+    name, labels = key
+    if not labels:
+        return name
+    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+def main(argv=None):
+    p = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    p.add_argument("base", help="baseline exposition file")
+    p.add_argument("cand", help="candidate exposition file")
+    p.add_argument(
+        "--rel-threshold", type=float, default=0.0,
+        help="max tolerated |cand-base|/max(|base|,tiny) "
+             "(default 0 = exact)")
+    p.add_argument(
+        "--abs-threshold", type=float, default=0.0,
+        help="max tolerated |cand-base| (default 0 = exact)")
+    p.add_argument(
+        "--ignore", action="append", default=[], metavar="REGEX",
+        help="drop series matching REGEX entirely (repeatable; "
+             "matched against the rendered name{labels} form)")
+    p.add_argument(
+        "--ignore-missing", action="store_true",
+        help="series present in only one file are reported but do "
+             "not fail the diff")
+    p.add_argument(
+        "--require-eof", action="store_true",
+        help="fail unless both files end with '# EOF'")
+    p.add_argument(
+        "--quiet", action="store_true",
+        help="print failures and the summary line only")
+    args = p.parse_args(argv)
+
+    base, base_eof = parse_exposition(args.base)
+    cand, cand_eof = parse_exposition(args.cand)
+    if args.require_eof and not (base_eof and cand_eof):
+        missing = []
+        if not base_eof:
+            missing.append(args.base)
+        if not cand_eof:
+            missing.append(args.cand)
+        sys.exit("missing '# EOF' terminator: " + ", ".join(missing))
+
+    ignores = [re.compile(rx) for rx in args.ignore]
+
+    def ignored(key):
+        text = render(key)
+        return any(rx.search(text) for rx in ignores)
+
+    failures = 0
+    compared = 0
+    skipped = 0
+    missing = 0
+    for key in sorted(set(base) | set(cand)):
+        if ignored(key):
+            skipped += 1
+            continue
+        if key not in base or key not in cand:
+            missing += 1
+            where = "base" if key not in cand else "cand"
+            tag = "MISSING" if args.ignore_missing else "FAIL"
+            if tag == "FAIL":
+                failures += 1
+            print(f"  {tag}: {render(key)} only in {where}")
+            continue
+        compared += 1
+        b, c = base[key], cand[key]
+        if b == c:
+            continue
+        abs_delta = abs(c - b)
+        rel_delta = abs_delta / max(abs(b), 1e-300)
+        bad = (abs_delta > args.abs_threshold
+               and rel_delta > args.rel_threshold)
+        if bad:
+            failures += 1
+        if bad or not args.quiet:
+            tag = "FAIL" if bad else "delta"
+            print(f"  {tag}: {render(key)} {b:.17g} -> {c:.17g} "
+                  f"(abs {abs_delta:.3g}, rel {rel_delta:.3%})")
+    print(f"{compared} series compared, {missing} missing, "
+          f"{skipped} ignored, {failures} over threshold "
+          f"(rel {args.rel_threshold:g}, abs {args.abs_threshold:g})")
+    if failures:
+        print("FAIL: metrics regression", file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

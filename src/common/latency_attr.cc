@@ -1,0 +1,97 @@
+#include "common/latency_attr.hh"
+
+#include "common/logging.hh"
+#include "common/telemetry.hh"
+
+namespace profess
+{
+
+namespace telemetry
+{
+
+namespace
+{
+
+const char *
+tierName(LatencyAttribution::Tier t)
+{
+    return t == LatencyAttribution::Tier::M1 ? "m1" : "m2";
+}
+
+const char *
+kindName(LatencyAttribution::Kind k)
+{
+    switch (k) {
+      case LatencyAttribution::Kind::Read:
+        return "read";
+      case LatencyAttribution::Kind::Write:
+        return "write";
+      default:
+        return "swap";
+    }
+}
+
+const char *
+phaseName(LatencyAttribution::Phase ph)
+{
+    switch (ph) {
+      case LatencyAttribution::Phase::Queue:
+        return "queue";
+      case LatencyAttribution::Phase::BankBusy:
+        return "bank_busy";
+      case LatencyAttribution::Phase::Transfer:
+        return "transfer";
+      default:
+        return "park";
+    }
+}
+
+} // anonymous namespace
+
+LatencyAttribution::LatencyAttribution(unsigned num_programs,
+                                       double bucket_width,
+                                       std::size_t num_buckets)
+    : numPrograms_(num_programs)
+{
+    fatal_if(num_programs < 1,
+             "LatencyAttribution needs >= 1 program");
+    std::size_t total = static_cast<std::size_t>(num_programs) *
+                        numTiers * numKinds * numPhases;
+    hists_.reserve(total);
+    for (std::size_t i = 0; i < total; ++i)
+        hists_.emplace_back(bucket_width, num_buckets);
+}
+
+std::string
+LatencyAttribution::name(const std::string &prefix, unsigned p,
+                         Tier t, Kind k, Phase ph)
+{
+    return prefix + ".p" + std::to_string(p) + "." + tierName(t) +
+           "." + kindName(k) + "." + phaseName(ph);
+}
+
+void
+LatencyAttribution::registerTelemetry(StatRegistry &registry,
+                                      const std::string &prefix) const
+{
+    for (unsigned p = 0; p < numPrograms_; ++p) {
+        for (unsigned t = 0; t < numTiers; ++t) {
+            auto tier = static_cast<Tier>(t);
+            for (Kind k : {Kind::Read, Kind::Write}) {
+                for (unsigned ph = 0; ph < numPhases; ++ph) {
+                    auto phase = static_cast<Phase>(ph);
+                    registry.addHistogram(
+                        name(prefix, p, tier, k, phase),
+                        histogram(p, tier, k, phase));
+                }
+            }
+            registry.addHistogram(
+                name(prefix, p, tier, Kind::Swap, Phase::Park),
+                histogram(p, tier, Kind::Swap, Phase::Park));
+        }
+    }
+}
+
+} // namespace telemetry
+
+} // namespace profess

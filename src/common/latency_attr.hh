@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Request-lifecycle latency attribution (DESIGN.md Sec. 4g).
+ *
+ * ProFess argues fairness and performance can be co-managed, but the
+ * end-of-run counters cannot say *where* a slowed-down program's
+ * cycles went.  This module accumulates per-(program x tier x
+ * access-kind) histograms of the phases a request passes through:
+ *
+ *   queue     - arrival at the channel until commit (FR-FCFS wait)
+ *   bank_busy - commit until the data burst starts (bank timing,
+ *               refresh, bus arbitration)
+ *   transfer  - the data burst itself
+ *   park      - time parked in the hybrid controller behind an STC
+ *               fill (kind read/write) or an in-flight swap of the
+ *               same group (kind swap)
+ *
+ * The attribution object is owned by the telemetry bundle and handed
+ * to channels and the hybrid controller as a raw pointer; a null
+ * pointer costs one PROFESS_UNLIKELY branch per request, matching
+ * the observational-only contract (off-mode bit-identical, see
+ * tests/test_telemetry.cc).  All times are in MC cycles.
+ */
+
+#ifndef PROFESS_COMMON_LATENCY_ATTR_HH
+#define PROFESS_COMMON_LATENCY_ATTR_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace profess
+{
+
+namespace telemetry
+{
+
+class StatRegistry;
+
+/** Per-program, per-tier, per-kind latency phase histograms. */
+class LatencyAttribution
+{
+  public:
+    enum class Tier : unsigned { M1 = 0, M2 = 1 };
+    enum class Kind : unsigned { Read = 0, Write = 1, Swap = 2 };
+    enum class Phase : unsigned
+    {
+        Queue = 0,
+        BankBusy = 1,
+        Transfer = 2,
+        Park = 3
+    };
+
+    static constexpr unsigned numTiers = 2;
+    static constexpr unsigned numKinds = 3;
+    static constexpr unsigned numPhases = 4;
+
+    /**
+     * @param num_programs Programs to attribute (>= 1).
+     * @param bucket_width Histogram bucket width in MC cycles.
+     * @param num_buckets Regular buckets per histogram.
+     */
+    explicit LatencyAttribution(unsigned num_programs,
+                                double bucket_width = 64.0,
+                                std::size_t num_buckets = 64);
+
+    /** @return number of programs covered. */
+    unsigned numPrograms() const { return numPrograms_; }
+
+    /** Record one span; out-of-range programs are dropped. */
+    void
+    record(ProgramId p, Tier t, Kind k, Phase ph, double cycles)
+    {
+        if (p < 0 || static_cast<unsigned>(p) >= numPrograms_)
+            return;
+        hists_[index(static_cast<unsigned>(p), t, k, ph)].add(cycles);
+    }
+
+    /** @return the histogram of one (program, tier, kind, phase). */
+    const Histogram &
+    histogram(unsigned p, Tier t, Kind k, Phase ph) const
+    {
+        return hists_[index(p, t, k, ph)];
+    }
+
+    /**
+     * Register the meaningful combinations under
+     * "<prefix>.p<i>.<m1|m2>.<read|write|swap>.<phase>".
+     *
+     * Read and write kinds expose all four phases; the swap kind
+     * only parks (its device time is accounted by the channel's
+     * swap model, not per program), so it exposes park alone.
+     */
+    void registerTelemetry(StatRegistry &registry,
+                           const std::string &prefix = "latency") const;
+
+    /** @return the dotted name used by registerTelemetry. */
+    static std::string name(const std::string &prefix, unsigned p,
+                            Tier t, Kind k, Phase ph);
+
+  private:
+    std::size_t
+    index(unsigned p, Tier t, Kind k, Phase ph) const
+    {
+        return ((static_cast<std::size_t>(p) * numTiers +
+                 static_cast<std::size_t>(t)) *
+                    numKinds +
+                static_cast<std::size_t>(k)) *
+                   numPhases +
+               static_cast<std::size_t>(ph);
+    }
+
+    unsigned numPrograms_;
+    std::vector<Histogram> hists_;
+};
+
+} // namespace telemetry
+
+} // namespace profess
+
+#endif // PROFESS_COMMON_LATENCY_ATTR_HH

@@ -36,9 +36,9 @@ Histogram::dumpJson(std::FILE *f) const
         std::fprintf(f, "%s%llu", i ? "," : "",
                      static_cast<unsigned long long>(buckets_[i]));
     }
-    std::fprintf(f, "],\"count\":%llu,\"mean\":%.17g}\n",
+    std::fprintf(f, "],\"count\":%llu,\"sum\":%.17g,\"mean\":%.17g}\n",
                  static_cast<unsigned long long>(stat_.count()),
-                 stat_.mean());
+                 sum_, stat_.mean());
 }
 
 void

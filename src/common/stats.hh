@@ -132,6 +132,7 @@ class Histogram
     add(double x)
     {
         stat_.add(x);
+        sum_ += x;
         if (x < 0) {
             ++underflow_;
             return;
@@ -157,6 +158,14 @@ class Histogram
     /** @return summary statistics over all added samples. */
     const RunningStat &summary() const { return stat_; }
 
+    /** @return exact running sum of all added samples (including
+     *  underflow), for exporters that must reconcile sum and count
+     *  without the rounding of mean * count. */
+    double sum() const { return sum_; }
+
+    /** @return width of each regular bucket. */
+    double bucketWidth() const { return width_; }
+
     /**
      * Approximate quantile from the histogram.
      *
@@ -164,6 +173,17 @@ class Histogram
      * @return Upper edge of the bucket holding the quantile.
      */
     double quantile(double q) const;
+
+    /** Reset all counts (bucket layout is kept). */
+    void
+    reset()
+    {
+        for (auto &b : buckets_)
+            b = 0;
+        underflow_ = 0;
+        sum_ = 0.0;
+        stat_.reset();
+    }
 
     /**
      * Dump as one JSON object: bucket edges and counts plus
@@ -178,6 +198,7 @@ class Histogram
     double width_;
     std::vector<std::uint64_t> buckets_;
     std::uint64_t underflow_ = 0;
+    double sum_ = 0.0;
     RunningStat stat_;
 };
 

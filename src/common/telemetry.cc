@@ -95,6 +95,38 @@ StatRegistry::addCounter(const std::string &name,
     addEntry(std::move(e));
 }
 
+void
+StatRegistry::addHistogram(const std::string &name,
+                           const Histogram &h)
+{
+    // The name itself goes through the duplicate check so a
+    // histogram can never shadow a scalar entry (or vice versa);
+    // the derived .count/.sum probes are plain entries.
+    panic_if(!names_.insert(name).second,
+             "duplicate statistic name '%s'", name.c_str());
+    histograms_.push_back(HistogramEntry{name, &h});
+    histogramsSorted_ = false;
+    const Histogram *hp = &h;
+    addProbe(name + ".count", [hp]() {
+        return static_cast<double>(hp->summary().count());
+    });
+    addProbe(name + ".sum", [hp]() { return hp->sum(); });
+}
+
+const std::vector<StatRegistry::HistogramEntry> &
+StatRegistry::histograms() const
+{
+    if (!histogramsSorted_) {
+        std::stable_sort(histograms_.begin(), histograms_.end(),
+                         [](const HistogramEntry &a,
+                            const HistogramEntry &b) {
+                             return a.name < b.name;
+                         });
+        histogramsSorted_ = true;
+    }
+    return histograms_;
+}
+
 const std::vector<StatRegistry::Entry> &
 StatRegistry::entries() const
 {

@@ -71,6 +71,13 @@ class StatRegistry
         std::function<double()> probe; ///< used when counter==nullptr
     };
 
+    /** One registered distribution (see addHistogram). */
+    struct HistogramEntry
+    {
+        std::string name;            ///< full dotted name
+        const Histogram *histogram = nullptr;
+    };
+
     /**
      * Register every counter and value of a StatSet under a prefix.
      *
@@ -85,6 +92,20 @@ class StatRegistry
 
     /** Register a single live counter reference. */
     void addCounter(const std::string &name, const std::uint64_t &c);
+
+    /**
+     * Register a whole distribution under a dotted name.
+     *
+     * The histogram must outlive the registry.  Besides recording
+     * the pointer for bucket-level exporters (OpenMetrics), this
+     * derives two scalar probes — "<name>.count" and "<name>.sum" —
+     * so epoch sampling and JSON dumps see the distribution's
+     * totals without new plumbing.
+     */
+    void addHistogram(const std::string &name, const Histogram &h);
+
+    /** @return all registered distributions, sorted by name. */
+    const std::vector<HistogramEntry> &histograms() const;
 
     /** @return number of registered entries. */
     std::size_t size() const { return entries_.size(); }
@@ -112,7 +133,9 @@ class StatRegistry
     void addEntry(Entry e);
 
     mutable std::vector<Entry> entries_;
+    mutable std::vector<HistogramEntry> histograms_;
     mutable bool sorted_ = true;
+    mutable bool histogramsSorted_ = true;
     std::unordered_set<std::string> names_; ///< O(1) dup detection
 };
 

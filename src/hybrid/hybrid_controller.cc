@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/invariant.hh"
+#include "common/latency_attr.hh"
 #include "common/telemetry.hh"
 #include "common/trace_sink.hh"
 
@@ -21,7 +22,8 @@ HybridController::HybridController(EventQueue &eq,
     : eq_(eq), memory_(memory), layout_(layout), params_(params),
       policy_(policy), oracle_(oracle), st_(layout), stc_(params.stc),
       perProgram_(params.numPrograms),
-      ctrStFills_(stats_.counterRef("st_fills"))
+      ctrStFills_(stats_.counterRef("st_fills")),
+      swapRetryLat_(256.0, 64)
 {
     fatal_if(layout.numChannels != memory.numChannels(),
              "layout expects %u channels, memory has %u",
@@ -88,6 +90,12 @@ HybridController::access(ProgramId program, Addr original_addr,
     pa->isWrite = is_write;
     pa->done = std::move(done);
     pa->next = nullptr;
+    if (PROFESS_UNLIKELY(attr_ != nullptr)) {
+        // Pool-resident timestamps: a recycled node may carry a
+        // stale park stamp from its previous life.
+        pa->parkTick = tickNever;
+        pa->parkedOnSwap = false;
+    }
 
     auto &ps = perProgram_[static_cast<unsigned>(program)];
     ++ps.served;
@@ -108,12 +116,37 @@ HybridController::serve(std::uint64_t group, StcMeta &meta,
 {
     GroupInfo &gi = groups_[group];
     if (meta.swapping) {
+        if (PROFESS_UNLIKELY(attr_ != nullptr)) {
+            // A fill-parked access re-parking behind a swap keeps
+            // its original stamp; the whole wait lands in the swap
+            // park bucket.
+            if (pa->parkTick == tickNever)
+                pa->parkTick = eq_.now();
+            pa->parkedOnSwap = true;
+        }
         gi.swapWaiters.append(pa);
         return;
     }
 
     unsigned loc = st_.locationOf(group, pa->slot);
     bool from_m1 = loc == 0;
+
+    if (PROFESS_UNLIKELY(attr_ != nullptr) &&
+        pa->parkTick != tickNever) {
+        using telemetry::LatencyAttribution;
+        auto tier = from_m1 ? LatencyAttribution::Tier::M1
+                            : LatencyAttribution::Tier::M2;
+        auto kind = pa->parkedOnSwap
+                        ? LatencyAttribution::Kind::Swap
+                        : (pa->isWrite
+                               ? LatencyAttribution::Kind::Write
+                               : LatencyAttribution::Kind::Read);
+        attr_->record(pa->program, tier, kind,
+                      LatencyAttribution::Phase::Park,
+                      static_cast<double>(eq_.now() - pa->parkTick));
+        pa->parkTick = tickNever;
+        pa->parkedOnSwap = false;
+    }
     meta.bump(pa->slot,
               pa->isWrite ? policy_.writeWeight() : 1u);
 
@@ -168,6 +201,8 @@ void
 HybridController::startFill(std::uint64_t group, PendingAccess *pa)
 {
     GroupInfo &gi = groups_[group];
+    if (PROFESS_UNLIKELY(attr_ != nullptr))
+        pa->parkTick = eq_.now();
     gi.fillWaiters.append(pa);
     if (gi.fillInFlight)
         return;
@@ -260,7 +295,8 @@ HybridController::requestSwap(std::uint64_t group, unsigned slot)
 void
 HybridController::startSwap(std::uint64_t group,
                             unsigned promote_slot, unsigned m1_slot,
-                            StcMeta &meta, unsigned attempt)
+                            StcMeta &meta, unsigned attempt,
+                            Tick first_abort)
 {
     panic_if(meta.swapping, "double swap on group %llu",
              static_cast<unsigned long long>(group));
@@ -278,9 +314,10 @@ HybridController::startSwap(std::uint64_t group,
         gi.chan->executeSwap(
             gi.m1Addr, gi.m1Addr + (loc - 1) * m2Stride_,
             layout_.blockBytes,
-            [this, group, promote_slot, m1_slot, attempt, begin,
-             tid]() {
-                swapDone(group, promote_slot, m1_slot, attempt);
+            [this, group, promote_slot, m1_slot, attempt,
+             first_abort, begin, tid]() {
+                swapDone(group, promote_slot, m1_slot, attempt,
+                         first_abort);
                 if (chrome_ != nullptr) {
                     chrome_->complete("swap", "hybrid", begin,
                                       eq_.now() - begin, tid);
@@ -292,21 +329,30 @@ HybridController::startSwap(std::uint64_t group,
     gi.chan->executeSwap(
         gi.m1Addr, gi.m1Addr + (loc - 1) * m2Stride_,
         layout_.blockBytes,
-        [this, group, promote_slot, m1_slot, attempt]() {
-            swapDone(group, promote_slot, m1_slot, attempt);
+        [this, group, promote_slot, m1_slot, attempt,
+         first_abort]() {
+            swapDone(group, promote_slot, m1_slot, attempt,
+                     first_abort);
         },
         policy_.slowSwap());
 }
 
 void
 HybridController::swapDone(std::uint64_t group, unsigned promote_slot,
-                           unsigned m1_slot, unsigned attempt)
+                           unsigned m1_slot, unsigned attempt,
+                           Tick first_abort)
 {
     if (PROFESS_UNLIKELY(faults_ != nullptr) &&
         faults_->swapAborts(group, eq_.now())) {
-        abortSwap(group, promote_slot, m1_slot, attempt);
+        abortSwap(group, promote_slot, m1_slot, attempt,
+                  attempt == 0 ? eq_.now() : first_abort);
         return;
     }
+    // A swap that needed retries finally landed: its retry latency
+    // is first abort to commit.
+    if (PROFESS_UNLIKELY(attempt > 0))
+        swapRetryLat_.add(static_cast<double>(eq_.now() -
+                                              first_abort));
     finishSwap(group, promote_slot, m1_slot);
 }
 
@@ -342,7 +388,7 @@ HybridController::finishSwap(std::uint64_t group,
 void
 HybridController::abortSwap(std::uint64_t group,
                             unsigned promote_slot, unsigned m1_slot,
-                            unsigned attempt)
+                            unsigned attempt, Tick first_abort)
 {
     (void)m1_slot;
     stats_.inc("swap_aborts");
@@ -368,20 +414,25 @@ HybridController::abortSwap(std::uint64_t group,
 
     if (attempt >= faults_->swapMaxRetries()) {
         stats_.inc("swap_degraded");
+        // A dropped swap still closes its retry window.
+        swapRetryLat_.add(
+            static_cast<double>(eq_.now() - first_abort));
         faults_->noteSwapDegraded(group, eq_.now());
         return;
     }
     stats_.inc("swap_retries");
     faults_->noteSwapRetry(group, eq_.now());
     Cycles backoff = faults_->swapRetryBackoff() << attempt;
-    eq_.scheduleIn(backoff, [this, group, promote_slot, attempt]() {
-        retrySwap(group, promote_slot, attempt + 1);
+    eq_.scheduleIn(backoff, [this, group, promote_slot, attempt,
+                             first_abort]() {
+        retrySwap(group, promote_slot, attempt + 1, first_abort);
     });
 }
 
 void
 HybridController::retrySwap(std::uint64_t group,
-                            unsigned promote_slot, unsigned attempt)
+                            unsigned promote_slot, unsigned attempt,
+                            Tick first_abort)
 {
     StcMeta *m = stc_.peek(group);
     unsigned loc = (m != nullptr && !m->swapping)
@@ -391,9 +442,12 @@ HybridController::retrySwap(std::uint64_t group,
         // Entry evicted, another swap already in flight, or the
         // block reached M1 by other means: the retry is moot.
         stats_.inc("swap_retry_dropped");
+        swapRetryLat_.add(
+            static_cast<double>(eq_.now() - first_abort));
         return;
     }
-    startSwap(group, promote_slot, st_.slotInM1(group), *m, attempt);
+    startSwap(group, promote_slot, st_.slotInM1(group), *m, attempt,
+              first_abort);
 }
 
 bool
@@ -526,6 +580,7 @@ HybridController::resetStats()
         p = ProgramStats{};
     swaps_ = 0;
     stats_.reset();
+    swapRetryLat_.reset();
     stc_.resetStats();
 }
 
@@ -553,6 +608,8 @@ HybridController::registerTelemetry(
 {
     registry.addSet(prefix, stats_);
     registry.addCounter(prefix + ".swaps", swaps_);
+    registry.addHistogram(prefix + ".swap_retry_latency",
+                          swapRetryLat_);
     stc_.registerTelemetry(registry, prefix + ".stc");
     for (unsigned i = 0; i < perProgram_.size(); ++i) {
         std::string pp = prefix + ".p" + std::to_string(i);

@@ -50,6 +50,7 @@ namespace telemetry
 {
 class StatRegistry;
 class ChromeTraceSink;
+class LatencyAttribution;
 struct TimerSlot;
 } // namespace telemetry
 
@@ -216,6 +217,17 @@ class HybridController : public policy::SwapHost
         accessTimer_ = slot;
     }
 
+    /**
+     * Attribute time accesses spend parked behind STC fills and
+     * in-flight swaps (null disables; observational only — parked
+     * timestamps are pool-resident and only written under a
+     * PROFESS_UNLIKELY branch).
+     */
+    void setLatencyAttribution(telemetry::LatencyAttribution *attr)
+    {
+        attr_ = attr;
+    }
+
     /** Install a fault-injection hook (null disables). */
     void setFaultInjector(FaultInjector *f) { faults_ = f; }
 
@@ -245,6 +257,11 @@ class HybridController : public policy::SwapHost
         bool isWrite;
         InlineCallback done;
         PendingAccess *next = nullptr; ///< intrusive FIFO link
+        /** First tick this access parked on a wait list
+         *  (tickNever = not parked).  Only maintained while
+         *  latency attribution is attached. */
+        Tick parkTick = tickNever;
+        bool parkedOnSwap = false; ///< parked behind a swap
     };
 
     /** Intrusive FIFO of pooled PendingAccess nodes. */
@@ -297,17 +314,22 @@ class HybridController : public policy::SwapHost
     void serve(std::uint64_t group, StcMeta &meta, PendingAccess *pa);
     void startFill(std::uint64_t group, PendingAccess *pa);
     void finishFill(std::uint64_t group);
+    // Aborted swaps thread `attempt` and the tick of their first
+    // abort through the retry chain so the retry-latency histogram
+    // can measure first-abort to final-outcome time.
     void startSwap(std::uint64_t group, unsigned promote_slot,
                    unsigned m1_slot, StcMeta &meta,
-                   unsigned attempt = 0);
+                   unsigned attempt = 0, Tick first_abort = 0);
     void swapDone(std::uint64_t group, unsigned promote_slot,
-                  unsigned m1_slot, unsigned attempt);
+                  unsigned m1_slot, unsigned attempt,
+                  Tick first_abort);
     void finishSwap(std::uint64_t group, unsigned promote_slot,
                     unsigned m1_slot);
     void abortSwap(std::uint64_t group, unsigned promote_slot,
-                   unsigned m1_slot, unsigned attempt);
+                   unsigned m1_slot, unsigned attempt,
+                   Tick first_abort);
     void retrySwap(std::uint64_t group, unsigned promote_slot,
-                   unsigned attempt);
+                   unsigned attempt, Tick first_abort);
     void schedulePeriodic();
     void scheduleStatsFold();
     void foldLongResidents();
@@ -350,8 +372,13 @@ class HybridController : public policy::SwapHost
     bool foldEnabled_ = false;
     StatSet stats_;
     std::uint64_t &ctrStFills_;
+    /** First-abort to final-outcome time of retried swaps (MC
+     *  cycles); fed only on the abort path, surfaced through the
+     *  registry as hybrid.swap_retry_latency. */
+    Histogram swapRetryLat_;
     telemetry::ChromeTraceSink *chrome_ = nullptr;
     telemetry::TimerSlot *accessTimer_ = nullptr;
+    telemetry::LatencyAttribution *attr_ = nullptr;
     FaultInjector *faults_ = nullptr;
 };
 

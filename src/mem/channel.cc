@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/latency_attr.hh"
 #include "common/telemetry.hh"
 
 namespace profess
@@ -206,6 +207,27 @@ Channel::commit(RequestPtr req)
     busFreeAt_ = data_end;
     lastBusWrite_ = req->isWrite;
     ctrBusBusyCycles_ += t.tBurst;
+
+    // Latency attribution (observational only): decompose this
+    // request's life into queueing (arrival to commit), bank-busy
+    // (commit to burst start) and transfer (the burst).
+    if (PROFESS_UNLIKELY(attr_ != nullptr) &&
+        req->cls == ReqClass::Demand) {
+        using telemetry::LatencyAttribution;
+        auto tier = m2 ? LatencyAttribution::Tier::M2
+                       : LatencyAttribution::Tier::M1;
+        auto kind = req->isWrite ? LatencyAttribution::Kind::Write
+                                 : LatencyAttribution::Kind::Read;
+        attr_->record(req->program, tier, kind,
+                      LatencyAttribution::Phase::Queue,
+                      static_cast<double>(now - req->enqueueTick));
+        attr_->record(req->program, tier, kind,
+                      LatencyAttribution::Phase::BankBusy,
+                      static_cast<double>(data_start - now));
+        attr_->record(req->program, tier, kind,
+                      LatencyAttribution::Phase::Transfer,
+                      static_cast<double>(t.tBurst));
+    }
 
     if (req->isWrite)
         energy_.addWrite(m2);

@@ -40,6 +40,7 @@ namespace profess
 
 namespace telemetry
 {
+class LatencyAttribution;
 class StatRegistry;
 struct TimerSlot;
 } // namespace telemetry
@@ -127,6 +128,16 @@ class Channel
     void setSchedulerTimer(telemetry::TimerSlot *slot)
     {
         schedTimer_ = slot;
+    }
+
+    /**
+     * Attribute demand-request lifecycle phases (queue, bank-busy,
+     * transfer) per program and tier (null disables; observational
+     * only — one PROFESS_UNLIKELY branch per committed request).
+     */
+    void setLatencyAttribution(telemetry::LatencyAttribution *attr)
+    {
+        attr_ = attr;
     }
 
     /** Demand-read latency distribution (MC cycles). */
@@ -260,6 +271,7 @@ class Channel
     RunningStat readLat_;
     EnergyAccount energy_;
     telemetry::TimerSlot *schedTimer_ = nullptr;
+    telemetry::LatencyAttribution *attr_ = nullptr;
 
     // Hot-path counters resolved once (StatSet::counterRef); refs
     // stay valid across resetStats() because reset() zeroes in

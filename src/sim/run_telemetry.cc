@@ -1,5 +1,6 @@
 #include "sim/run_telemetry.hh"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
@@ -7,7 +8,9 @@
 #include <sys/stat.h>
 #include <sys/types.h>
 
+#include "common/latency_attr.hh"
 #include "common/logging.hh"
+#include "core/rsm.hh"
 #include "sim/system.hh"
 
 namespace profess
@@ -71,6 +74,9 @@ TelemetryConfig::initFromEnv()
                  e);
         epochInterval = static_cast<Tick>(v);
     }
+    const char *m = std::getenv("PROFESS_METRICS_OUT");
+    if (m != nullptr && *m != '\0')
+        metricsOut = m;
 }
 
 void
@@ -91,6 +97,15 @@ TelemetryConfig::initFromArgs(int &argc, char **argv)
         }
         if (std::strncmp(a, "--telemetry-out=", 16) == 0) {
             outDir = a + 16;
+            continue;
+        }
+        if (std::strcmp(a, "--metrics-out") == 0) {
+            fatal_if(i + 1 >= argc, "--metrics-out needs a value");
+            metricsOut = argv[++i];
+            continue;
+        }
+        if (std::strncmp(a, "--metrics-out=", 14) == 0) {
+            metricsOut = a + 14;
             continue;
         }
         if (std::strcmp(a, "--epoch-ticks") == 0 ||
@@ -121,6 +136,100 @@ TelemetryConfig::global()
 {
     static TelemetryConfig cfg;
     return cfg;
+}
+
+//
+// MetricsCollector
+//
+
+void
+MetricsCollector::record(const std::string &path,
+                         telemetry::MetricsSnapshot snap)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    std::vector<telemetry::MetricsSnapshot> &snaps = byPath_[path];
+    snaps.push_back(std::move(snap));
+    // Rewriting after every run (instead of once at exit) keeps the
+    // file valid mid-sweep and avoids static-destruction ordering;
+    // sorting by label makes the content independent of worker
+    // completion order.
+    std::vector<telemetry::MetricsSnapshot> sorted = snaps;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const telemetry::MetricsSnapshot &a,
+                 const telemetry::MetricsSnapshot &b) {
+                  return a.run < b.run;
+              });
+    telemetry::writeOpenMetricsFile(path, sorted);
+}
+
+std::size_t
+MetricsCollector::size() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    std::size_t n = 0;
+    for (const auto &kv : byPath_)
+        n += kv.second.size();
+    return n;
+}
+
+void
+MetricsCollector::clear()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    byPath_.clear();
+}
+
+MetricsCollector &
+MetricsCollector::global()
+{
+    static MetricsCollector collector;
+    return collector;
+}
+
+void
+registerFairnessGauges(telemetry::StatRegistry &registry,
+                       const core::Rsm &rsm, unsigned num_programs)
+{
+    const core::Rsm *r = &rsm;
+    auto slowdown = [r](unsigned i) {
+        auto id = static_cast<ProgramId>(i);
+        return std::max(r->sfA(id), r->sfB(id));
+    };
+    for (unsigned i = 0; i < num_programs; ++i) {
+        registry.addProbe("fairness.p" + std::to_string(i) +
+                              ".slowdown",
+                          [slowdown, i]() { return slowdown(i); });
+    }
+    registry.addProbe("fairness.weighted_speedup",
+                      [slowdown, num_programs]() {
+                          double ws = 0.0;
+                          for (unsigned i = 0; i < num_programs;
+                               ++i) {
+                              double s = slowdown(i);
+                              ws += s > 0.0 ? 1.0 / s : 0.0;
+                          }
+                          return ws;
+                      });
+    registry.addProbe("fairness.max_slowdown",
+                      [slowdown, num_programs]() {
+                          double mx = 0.0;
+                          for (unsigned i = 0; i < num_programs;
+                               ++i)
+                              mx = std::max(mx, slowdown(i));
+                          return mx;
+                      });
+    registry.addProbe("fairness.unfairness",
+                      [slowdown, num_programs]() {
+                          double mx = 0.0;
+                          double mn = 0.0;
+                          for (unsigned i = 0; i < num_programs;
+                               ++i) {
+                              double s = slowdown(i);
+                              mx = std::max(mx, s);
+                              mn = (i == 0) ? s : std::min(mn, s);
+                          }
+                          return mn > 0.0 ? mx / mn : 0.0;
+                      });
 }
 
 std::string
@@ -181,6 +290,17 @@ RunTelemetry::stopSampler()
         sampler_->stop();
 }
 
+telemetry::LatencyAttribution *
+RunTelemetry::attribution(unsigned num_programs)
+{
+    if (attr_ == nullptr) {
+        attr_ = std::make_unique<telemetry::LatencyAttribution>(
+            num_programs);
+        attr_->registerTelemetry(registry_, "latency");
+    }
+    return attr_.get();
+}
+
 void
 RunTelemetry::finish(const std::string &policy,
                      const std::string &workload, std::uint64_t seed,
@@ -188,8 +308,20 @@ RunTelemetry::finish(const std::string &policy,
 {
     if (epochsFile_ != nullptr)
         std::fflush(epochsFile_);
+
+    // The metrics snapshot must happen while the registry's live
+    // pointers are valid — i.e. here, not at process exit — and
+    // before the no-output-directory early return below.
+    if (!cfg_.metricsOut.empty()) {
+        MetricsCollector::global().record(
+            cfg_.metricsOut,
+            telemetry::MetricsSnapshot::capture(registry_, label_));
+    }
     if (dir_.empty())
         return;
+    telemetry::writeOpenMetricsFile(
+        dir_ + "/metrics.prom",
+        {telemetry::MetricsSnapshot::capture(registry_, label_)});
 
     telemetry::RunManifest m;
     m.label = label_;

@@ -32,9 +32,13 @@
 
 #include <chrono>
 #include <cstdio>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <vector>
 
+#include "common/openmetrics.hh"
 #include "common/telemetry.hh"
 #include "common/trace_sink.hh"
 #include "common/types.hh"
@@ -43,6 +47,16 @@ namespace profess
 {
 
 class EventQueue;
+
+namespace core
+{
+class Rsm;
+} // namespace core
+
+namespace telemetry
+{
+class LatencyAttribution;
+} // namespace telemetry
 
 namespace sim
 {
@@ -55,18 +69,26 @@ struct TelemetryConfig
     bool trace = false;      ///< decision + chrome tracing
     std::string outDir;      ///< run-artifact directory ("" = none)
     Tick epochInterval = 25000; ///< epoch sampler period in ticks
+    /** Combined OpenMetrics exposition file collecting every
+     *  labelled run of the process ("" = none). */
+    std::string metricsOut;
 
     /** @return true if any telemetry consumer is active. */
-    bool enabled() const { return trace || !outDir.empty(); }
+    bool
+    enabled() const
+    {
+        return trace || !outDir.empty() || !metricsOut.empty();
+    }
 
     /** Read PROFESS_TRACE / PROFESS_TELEMETRY_OUT /
-     *  PROFESS_EPOCH_TICKS. */
+     *  PROFESS_EPOCH_TICKS / PROFESS_METRICS_OUT. */
     void initFromEnv();
 
     /**
      * Read the environment, then strip and apply --trace,
-     * --telemetry-out DIR and --epoch-ticks N (also the --opt=value
-     * spellings) from argv, compacting it in place.
+     * --telemetry-out DIR, --epoch-ticks N and --metrics-out FILE
+     * (also the --opt=value spellings) from argv, compacting it in
+     * place.
      */
     void initFromArgs(int &argc, char **argv);
 
@@ -108,6 +130,14 @@ class RunTelemetry
     telemetry::TimerSlot *schedulerTimer() { return &schedSlot_; }
 
     /**
+     * Create (first call) and return the latency-attribution table
+     * for `num_programs`, registered under "latency".  Subsequent
+     * calls return the same table.  Call before startSampler() so
+     * the derived count/sum probes join the epoch selection.
+     */
+    telemetry::LatencyAttribution *attribution(unsigned num_programs);
+
+    /**
      * Start the epoch sampler on the event queue (samples every
      * registered entry; opens epochs.jsonl when an output directory
      * is configured).  Call after all components registered.
@@ -144,6 +174,7 @@ class RunTelemetry
     std::unique_ptr<telemetry::DecisionTraceSink> decision_;
     std::unique_ptr<telemetry::ChromeTraceSink> chrome_;
     std::unique_ptr<telemetry::EpochSampler> sampler_;
+    std::unique_ptr<telemetry::LatencyAttribution> attr_;
     telemetry::TimerSlot accessSlot_{};
     telemetry::TimerSlot schedSlot_{};
 
@@ -151,6 +182,50 @@ class RunTelemetry
     std::chrono::steady_clock::time_point wallStart_;
     std::string startedIso_;
 };
+
+/**
+ * Process-wide collector for the --metrics-out exposition file.
+ *
+ * Every labelled run's registry is snapshotted at finish(); the
+ * collector rewrites the target file after each snapshot with all
+ * runs sorted by label, so the final exposition is identical no
+ * matter in which order parallel workers finish (--jobs N
+ * determinism, tests/test_telemetry.cc).
+ */
+class MetricsCollector
+{
+  public:
+    /** Append one run snapshot and rewrite `path`. */
+    void record(const std::string &path,
+                telemetry::MetricsSnapshot snap);
+
+    /** @return snapshots recorded so far (all paths). */
+    std::size_t size() const;
+
+    /** Drop all snapshots (tests running several batches). */
+    void clear();
+
+    /** The process-wide instance. */
+    static MetricsCollector &global();
+
+  private:
+    mutable std::mutex mu_;
+    std::map<std::string, std::vector<telemetry::MetricsSnapshot>>
+        byPath_;
+};
+
+/**
+ * Register the per-epoch fairness gauges derived from RSM's
+ * slowdown factors (Sec. 3.1): per-program
+ * "fairness.p<i>.slowdown" (max of SF_A and SF_B), plus
+ * "fairness.weighted_speedup" (sum of 1/slowdown),
+ * "fairness.max_slowdown" and "fairness.unfairness"
+ * (max-over-min slowdown ratio).  Pure probes over RSM state:
+ * sampling them never perturbs the run.
+ */
+void registerFairnessGauges(telemetry::StatRegistry &registry,
+                            const core::Rsm &rsm,
+                            unsigned num_programs);
 
 /** Filesystem-safe form of a run label ([A-Za-z0-9._-] kept). */
 std::string sanitizeLabel(const std::string &label);

@@ -415,6 +415,8 @@ ScenarioController::eventName(EventCode c)
         return "swap_retry";
       case EventCode::SwapDegraded:
         return "swap_degraded";
+      case EventCode::BankBusyRearm:
+        return "bank_busy_rearm";
       default:
         return "unknown";
     }
@@ -493,6 +495,16 @@ ScenarioController::fire(const Intervention &iv)
         }
         note(EventCode::BankBusy, 0, now,
              static_cast<double>(iv.duration));
+        // Keep the window armed: swaps committed inside it reset
+        // the involved banks' ready times to the swap end, which
+        // would otherwise erase the rest of the throttling window.
+        if (now + bankBusyRearmPeriod < until) {
+            int channel = iv.channel;
+            eq_->scheduleIn(bankBusyRearmPeriod,
+                            [this, channel, until]() {
+                                rearmBankBusy(channel, until);
+                            });
+        }
         break;
       }
       case InterventionKind::SwapAbort: {
@@ -578,6 +590,31 @@ ScenarioController::fire(const Intervention &iv)
       default:
         panic("scenario: firing invalid intervention kind %u",
               static_cast<unsigned>(iv.kind));
+    }
+}
+
+void
+ScenarioController::rearmBankBusy(int channel, Tick until)
+{
+    Tick now = eq_->now();
+    if (now >= until)
+        return;
+    mem::MemorySystem &mem = sys_->memory();
+    for (unsigned c = 0; c < mem.numChannels(); ++c) {
+        if (channel >= 0 && c != static_cast<unsigned>(channel))
+            continue;
+        // Re-bumping is a max(), so it is idempotent for banks
+        // still holding the window and only lifts banks a swap
+        // reset below it.
+        mem.channel(c).injectBankBusy(mem::Module::M2, until);
+    }
+    note(EventCode::BankBusyRearm, 0, now,
+         static_cast<double>(until - now));
+    if (now + bankBusyRearmPeriod < until) {
+        eq_->scheduleIn(bankBusyRearmPeriod,
+                        [this, channel, until]() {
+                            rearmBankBusy(channel, until);
+                        });
     }
 }
 

@@ -245,6 +245,7 @@ class ScenarioController : public hybrid::FaultInjector
         SwapAbortInjected,
         SwapRetry,
         SwapDegraded,
+        BankBusyRearm, ///< periodic re-bump within a busy window
         NumCodes
     };
 
@@ -306,7 +307,17 @@ class ScenarioController : public hybrid::FaultInjector
     static const char *eventName(EventCode c);
 
   private:
+    /**
+     * Bank-busy windows are enforced by bumping bank ready times,
+     * but swaps overwrite those times to the swap's end — a single
+     * bump therefore under-models a sustained window.  Re-bump
+     * every this many ticks until the window closes (event-queue
+     * local, so jobs 1-vs-N determinism is preserved).
+     */
+    static constexpr Cycles bankBusyRearmPeriod = 256;
+
     void fire(const Intervention &iv);
+    void rearmBankBusy(int channel, Tick until);
     void runQuiesceAudit(const Intervention &iv, unsigned deferrals);
     void note(EventCode code, std::uint64_t group, Tick now,
               double a = 0.0, double b = 0.0);

@@ -213,10 +213,13 @@ System::attachTelemetry(RunTelemetry &telemetry)
     // The controller also registers the STC, the per-program service
     // counters and the policy (under "policy.<name>").
     controller_->registerTelemetry(reg, "hybrid");
+    telemetry::LatencyAttribution *attr =
+        telemetry.attribution(numPrograms_);
     for (unsigned c = 0; c < memory_->numChannels(); ++c) {
         mem::Channel &ch = memory_->channel(c);
         ch.registerTelemetry(reg, "mem.ch" + std::to_string(c));
         ch.setSchedulerTimer(telemetry.schedulerTimer());
+        ch.setLatencyAttribution(attr);
     }
     allocator_->registerTelemetry(reg, "os.alloc");
     for (unsigned i = 0; i < cores_.size(); ++i) {
@@ -227,6 +230,17 @@ System::attachTelemetry(RunTelemetry &telemetry)
     policy_->setTraceSink(telemetry.decisionSink());
     controller_->setChromeTrace(telemetry.chromeSink());
     controller_->setAccessTimer(telemetry.accessTimer());
+    controller_->setLatencyAttribution(attr);
+
+    // Fairness gauges ride on RSM's slowdown factors, so they exist
+    // exactly when the policy carries an RSM (profess and its
+    // variants reachable through ProfessPolicy).
+    if (core::ProfessPolicy *pp = professPolicy()) {
+        registerFairnessGauges(reg, pp->rsm(), numPrograms_);
+    } else if (auto *rg = dynamic_cast<core::RsmGuidedPolicy *>(
+                   policy_.get())) {
+        registerFairnessGauges(reg, rg->rsm(), numPrograms_);
+    }
 }
 
 void

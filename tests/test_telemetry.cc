@@ -492,6 +492,83 @@ TEST(Differential, EpochSeriesIdenticalAcrossWorkerCounts)
     }
 }
 
+TEST(Differential, MetricsExportIsBitIdentical)
+{
+    TelemetryConfigGuard guard;
+    const std::vector<std::string> programs = {"mcf"};
+    std::string prom = tempBase("metrics_off") + ".prom";
+
+    // --metrics-out alone turns on the full observational stack
+    // (latency-attribution spans, fairness gauges, exporter);
+    // simulation results must not move at all.
+    MetricsCollector::global().clear();
+    TelemetryConfig::global() = TelemetryConfig{};
+    TelemetryConfig::global().metricsOut = prom;
+    AloneIpcCache cache_on;
+    ExperimentRunner on(quickSingle(), trace::defaultScale,
+                        &cache_on);
+    RunResult a = on.run("profess", programs, 7, "mix");
+    MetricsCollector::global().clear();
+
+    TelemetryConfig::global() = TelemetryConfig{};
+    AloneIpcCache cache_off;
+    ExperimentRunner off(quickSingle(), trace::defaultScale,
+                         &cache_off);
+    RunResult b = off.run("profess", programs, 7, "mix");
+
+    EXPECT_TRUE(a.completed);
+    expectIdentical(a, b);
+
+    // The exposition was written, carries latency spans and is
+    // terminated (deep validation lives in tests/test_metrics.cc).
+    std::string text = readFile(prom);
+    EXPECT_NE(text.find("profess_latency_bucket"),
+              std::string::npos);
+    EXPECT_NE(text.find("# EOF"), std::string::npos);
+}
+
+TEST(Differential, MetricsFileIdenticalAcrossWorkerCounts)
+{
+    TelemetryConfigGuard guard;
+    std::string base = tempBase("metrics_jobs");
+    const WorkloadSpec *w01 = findWorkload("w01");
+    const WorkloadSpec *w05 = findWorkload("w05");
+    ASSERT_NE(w01, nullptr);
+    ASSERT_NE(w05, nullptr);
+
+    std::vector<RunJob> batch = {
+        multiJob(quickQuad(), "profess", *w01),
+        multiJob(quickQuad(), "mdm", *w05),
+    };
+    for (RunJob &j : batch)
+        j.slowdowns = false;
+
+    // The collector sorts snapshots by run label before every
+    // rewrite, so worker count and completion order must leave no
+    // trace in the exposition: a zero-threshold metrics_diff.py of
+    // these two files reports nothing (here byte equality, which is
+    // stronger).
+    auto runWith = [&batch](unsigned jobs, const std::string &file) {
+        MetricsCollector::global().clear();
+        TelemetryConfig::global() = TelemetryConfig{};
+        TelemetryConfig::global().metricsOut = file;
+        AloneIpcCache cache;
+        ParallelRunner runner(jobs, &cache);
+        runner.setProgress(false);
+        runner.run(batch);
+    };
+    std::string serial = base + "_serial.prom";
+    std::string parallel = base + "_par.prom";
+    runWith(1, serial);
+    runWith(8, parallel);
+    MetricsCollector::global().clear();
+
+    std::string s = readFile(serial);
+    std::string p = readFile(parallel);
+    EXPECT_FALSE(s.empty());
+    EXPECT_EQ(s, p);
+}
+
 TEST(RunTelemetry, WritesRunArtifacts)
 {
     std::string base = tempBase("artifacts");
@@ -560,34 +637,52 @@ TEST(TelemetryConfig, ArgAndEnvParsing)
     ::unsetenv("PROFESS_TRACE");
     ::unsetenv("PROFESS_TELEMETRY_OUT");
     ::unsetenv("PROFESS_EPOCH_TICKS");
+    ::unsetenv("PROFESS_METRICS_OUT");
 
     // Flags are applied and stripped; unrelated arguments survive.
     const char *raw[] = {"bench",        "--trace", "--telemetry-out",
                          "/tmp/x",       "--jobs",  "4",
-                         "--epoch-ticks=123"};
+                         "--epoch-ticks=123", "--metrics-out",
+                         "/tmp/m.prom"};
     std::vector<char *> argv;
     for (const char *a : raw)
         argv.push_back(const_cast<char *>(a));
     argv.push_back(nullptr);
-    int argc = 7;
+    int argc = 9;
     TelemetryConfig cfg;
     cfg.initFromArgs(argc, argv.data());
     EXPECT_TRUE(cfg.trace);
     EXPECT_EQ(cfg.outDir, "/tmp/x");
     EXPECT_EQ(cfg.epochInterval, 123u);
+    EXPECT_EQ(cfg.metricsOut, "/tmp/m.prom");
     ASSERT_EQ(argc, 3);
     EXPECT_STREQ(argv[1], "--jobs");
     EXPECT_STREQ(argv[2], "4");
+
+    // The = spelling, alone, also enables telemetry.
+    const char *raw_eq[] = {"bench", "--metrics-out=/tmp/n.prom"};
+    std::vector<char *> argv_eq;
+    for (const char *a : raw_eq)
+        argv_eq.push_back(const_cast<char *>(a));
+    argv_eq.push_back(nullptr);
+    int argc_eq = 2;
+    TelemetryConfig eq_cfg;
+    eq_cfg.initFromArgs(argc_eq, argv_eq.data());
+    EXPECT_EQ(eq_cfg.metricsOut, "/tmp/n.prom");
+    EXPECT_TRUE(eq_cfg.enabled());
+    EXPECT_EQ(argc_eq, 1);
 
     // Environment spellings.
     ::setenv("PROFESS_TRACE", "1", 1);
     ::setenv("PROFESS_TELEMETRY_OUT", "/tmp/y", 1);
     ::setenv("PROFESS_EPOCH_TICKS", "777", 1);
+    ::setenv("PROFESS_METRICS_OUT", "/tmp/env.prom", 1);
     TelemetryConfig env_cfg;
     env_cfg.initFromEnv();
     EXPECT_TRUE(env_cfg.trace);
     EXPECT_EQ(env_cfg.outDir, "/tmp/y");
     EXPECT_EQ(env_cfg.epochInterval, 777u);
+    EXPECT_EQ(env_cfg.metricsOut, "/tmp/env.prom");
 
     // PROFESS_TRACE=0 means off.
     ::setenv("PROFESS_TRACE", "0", 1);
@@ -598,6 +693,7 @@ TEST(TelemetryConfig, ArgAndEnvParsing)
     ::unsetenv("PROFESS_TRACE");
     ::unsetenv("PROFESS_TELEMETRY_OUT");
     ::unsetenv("PROFESS_EPOCH_TICKS");
+    ::unsetenv("PROFESS_METRICS_OUT");
     EXPECT_FALSE(TelemetryConfig{}.enabled());
 }
 
