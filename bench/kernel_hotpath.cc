@@ -19,10 +19,20 @@
  *   --quick      tiny configuration for CI smoke runs
  *   --out FILE   write JSON to FILE instead of stdout
  *   --label S    annotate the JSON with a label (e.g. "before")
+ *   --jobs N     worker count for the DetSan verification pass
+ *                (ignored without -DPROFESS_DETSAN=ON)
  *   --trace / --telemetry-out DIR / --epoch-ticks N
  *                shared observability flags (sim/run_telemetry.hh);
  *                used by the CI overhead gate to compare
  *                telemetry-off against telemetry-on wall time
+ *
+ * Under -DPROFESS_DETSAN=ON the measured serial pass journals each
+ * run's event-extraction and epoch-state digests, then a second
+ * pass re-runs the whole matrix on a --jobs N thread pool; the
+ * detsan Journal cross-checks every digest against the serial
+ * pass, proving the matrix bit-identical at any worker count.  A
+ * sampler is forced on in DetSan builds (even with telemetry off)
+ * so the epoch-state digest always has coverage.
  */
 
 #include <chrono>
@@ -39,6 +49,11 @@
 #include "sim/system.hh"
 #include "sim/workloads.hh"
 #include "trace/spec_profiles.hh"
+
+#if PROFESS_DETSAN
+#include "common/detsan.hh"
+#include "common/thread_pool.hh"
+#endif
 
 using namespace profess;
 
@@ -67,7 +82,8 @@ struct RunNumbers
 };
 
 RunNumbers
-runOne(const RunSpec &spec, std::uint64_t quota)
+runOne(const RunSpec &spec, std::uint64_t quota,
+       bool verify_pass = false)
 {
     sim::SystemConfig cfg = spec.quad
                                 ? sim::SystemConfig::quadCore()
@@ -96,12 +112,36 @@ runOne(const RunSpec &spec, std::uint64_t quota)
             std::make_unique<sim::RunTelemetry>(tc, run_name);
         sys.attachTelemetry(*telemetry);
     }
+#if PROFESS_DETSAN
+    // Force a sampler so the epoch-state digest has coverage even
+    // when no telemetry consumer is configured.  Sampling is
+    // observational only, so results stay bit-identical.
+    if (telemetry == nullptr) {
+        telemetry =
+            std::make_unique<sim::RunTelemetry>(tc, run_name);
+        sys.attachTelemetry(*telemetry);
+    }
+#endif
 
     auto t0 = std::chrono::steady_clock::now();
     sys.run();
     auto t1 = std::chrono::steady_clock::now();
 
-    if (telemetry != nullptr) {
+#if PROFESS_DETSAN
+    {
+        detsan::RunDigest dig;
+        dig.events = sys.eventQueue().executed();
+        dig.extraction = sys.eventQueue().detsanDigest();
+        if (telemetry->sampler() != nullptr) {
+            dig.epochs = telemetry->sampler()->epochs();
+            dig.epochState = telemetry->sampler()->detsanDigest();
+        }
+        detsan::Journal::global().record(
+            run_name + "#" + std::to_string(quota), dig);
+    }
+#endif
+
+    if (telemetry != nullptr && tc.enabled() && !verify_pass) {
         telemetry->finish(spec.policy, spec.name, seed,
                           sim::configJson(cfg), true);
     }
@@ -135,6 +175,7 @@ main(int argc, char **argv)
     bool quick = false;
     std::string out;
     std::string label = "run";
+    unsigned jobs = 1;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--quick") == 0) {
             quick = true;
@@ -144,14 +185,28 @@ main(int argc, char **argv)
         } else if (std::strcmp(argv[i], "--label") == 0 &&
                    i + 1 < argc) {
             label = argv[++i];
+        } else if (std::strcmp(argv[i], "--jobs") == 0 &&
+                   i + 1 < argc) {
+            jobs = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
+            if (jobs == 0)
+                jobs = 1;
         } else {
             std::fprintf(stderr,
                          "usage: %s [--quick] [--out FILE] "
-                         "[--label S]\n",
+                         "[--label S] [--jobs N]\n",
                          argv[0]);
             return 2;
         }
     }
+#if !PROFESS_DETSAN
+    if (jobs != 1) {
+        std::fprintf(stderr,
+                     "[kernel_hotpath] --jobs only drives the "
+                     "DetSan verification pass; build with "
+                     "-DPROFESS_DETSAN=ON\n");
+    }
+#endif
 
     const std::uint64_t single_quota = quick ? 120'000 : 1'000'000;
     const std::uint64_t quad_quota = quick ? 60'000 : 400'000;
@@ -188,6 +243,35 @@ main(int argc, char **argv)
                      n.name.c_str(), n.nsPerAccess, n.eventsPerSec);
         results.push_back(std::move(n));
     }
+
+#if PROFESS_DETSAN
+    // Verification pass: re-run the whole matrix on a thread pool
+    // and let the journal cross-check every digest against the
+    // serial measured pass above.  A mismatch is fatal inside
+    // Journal::record, so reaching the summary line means every
+    // run was bit-identical under --jobs concurrency.
+    {
+        ThreadPool pool(jobs);
+        for (const RunSpec &s : matrix) {
+            RunSpec copy = s;
+            std::uint64_t quota =
+                s.quad ? quad_quota : single_quota;
+            pool.submit([copy, quota]() {
+                runOne(copy, quota, /*verify_pass=*/true);
+            });
+        }
+        pool.wait();
+        const detsan::Journal &journal = detsan::Journal::global();
+        std::fprintf(stderr,
+                     "[detsan] %zu run identities, %llu "
+                     "cross-checked on %u workers: all digests "
+                     "identical\n",
+                     journal.entries(),
+                     static_cast<unsigned long long>(
+                         journal.checked()),
+                     jobs);
+    }
+#endif
 
     struct rusage ru;
     getrusage(RUSAGE_SELF, &ru);

@@ -27,13 +27,18 @@
 #      one.  The generated manifests/JSONL/chrome traces and
 #      .prom expositions are uploaded as CI artifacts (see
 #      .github/workflows/ci.yml).
-#   5. Correctness tooling: the domain linter
-#      (scripts/lint_profess.py), clang-format in check-only mode
-#      and clang-tidy over src/ (both skipped with a notice when
-#      the tool is not installed — the runtime gates below do not
-#      depend on them), then the full test suite once more as
-#      Debug + UBSan + ASan with PROFESS_AUDIT=ON so every
-#      invariant-audit hook runs under both sanitizers.
+#   5. Correctness tooling: the determinism/hot-path analyzer
+#      (scripts/profess_analyze — absorbs the old domain linter;
+#      zero findings required, SARIF written for code-scanning
+#      upload), clang-format in check-only mode and clang-tidy
+#      over src/.  The clang tools are pinned in CI (see
+#      .github/workflows/ci.yml) and a missing binary there is a
+#      hard failure — a silently skipped static-analysis stage is
+#      how rot ships; on developer machines without the tools the
+#      checks skip with a notice.  Then the full test suite once
+#      more as Debug + UBSan + ASan with PROFESS_AUDIT=ON and
+#      PROFESS_DETSAN=ON so every invariant-audit hook and
+#      determinism digest runs under both sanitizers.
 #   6. Fault-injection suite: the scenario tests (swap-abort
 #      storms, quiesce audits, RSM/MDM pinning, fault-schedule
 #      determinism) re-run on the stage-5 UBSan+ASan+AUDIT build.
@@ -41,6 +46,11 @@
 #      CI log even when the full stage-5 sweep also catches it,
 #      and so the storm paths are exercised with every invariant
 #      audit compiled in and sanitized.
+#   7. DetSan differential: kernel_hotpath --quick on the DetSan
+#      build replays the whole matrix on 8 pool workers and
+#      cross-checks every run's event/extraction/epoch digests
+#      against the measured serial pass — a digest mismatch
+#      (scheduling leaking into simulation state) aborts.
 #
 # Usage: scripts/ci.sh [jobs]   (default: nproc)
 
@@ -49,7 +59,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
 
-echo "==> [1/6] Debug + TSan: parallel runner tests"
+echo "==> [1/7] Debug + TSan: parallel runner tests"
 cmake -B build-tsan -S . \
     -DCMAKE_BUILD_TYPE=Debug \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -g -O1" \
@@ -59,12 +69,12 @@ TSAN_OPTIONS="halt_on_error=1" \
     ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
         -R 'ThreadPool|AloneCache|Differential|ParallelRunner'
 
-echo "==> [2/6] Release: full suite"
+echo "==> [2/7] Release: full suite"
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "==> [3/6] Kernel perf smoke"
+echo "==> [3/7] Kernel perf smoke"
 cmake --build build -j "$JOBS" --target kernel_hotpath
 ./build/bench/kernel_hotpath --quick --label ci-smoke \
     --out build/kernel_smoke.json
@@ -72,7 +82,7 @@ python3 scripts/bench_report.py compare \
     bench/baselines/kernel_quick.json build/kernel_smoke.json \
     --max-regression 2.0
 
-echo "==> [4/6] Telemetry overhead gate"
+echo "==> [4/7] Telemetry overhead gate"
 # The 2%/15% bounds are far tighter than single-shot noise on a
 # shared CI box, so each mode runs three times (interleaved, to
 # balance load drift) and the gate uses the best run of each —
@@ -121,13 +131,23 @@ python3 scripts/metrics_diff.py \
     --rel-threshold 0.5 --abs-threshold 1e-6 \
     --ignore-missing --require-eof --quiet
 
-echo "==> [5/6] Correctness tooling"
-python3 scripts/lint_profess.py
+echo "==> [5/7] Correctness tooling"
+# Determinism & hot-path analyzer: zero findings required.  The
+# SARIF report is uploaded to code scanning by ci.yml.
+mkdir -p build
+python3 scripts/profess_analyze --repo . \
+    --sarif build/profess_analyze.sarif
 
 if command -v clang-format >/dev/null 2>&1; then
     # Check-only: report drift, never rewrite (see .clang-format).
     git ls-files 'src/**/*.cc' 'src/**/*.hh' |
         xargs clang-format --dry-run -Werror
+elif [ -n "${CI:-}" ]; then
+    # In CI the tool is pinned by the workflow; its absence means
+    # the toolchain install silently broke.  Fail loudly instead
+    # of shipping unformatted (and un-analyzed) code.
+    echo "    ERROR: clang-format missing in CI" >&2
+    exit 1
 else
     echo "    clang-format not installed; skipping format check"
 fi
@@ -159,6 +179,9 @@ if command -v clang-tidy >/dev/null 2>&1; then
         mkdir -p "$TIDY_STAMP_DIR"
         touch "$TIDY_STAMP_DIR/$TIDY_HASH"
     fi
+elif [ -n "${CI:-}" ]; then
+    echo "    ERROR: clang-tidy missing in CI" >&2
+    exit 1
 else
     echo "    clang-tidy not installed; skipping static analysis"
 fi
@@ -166,20 +189,33 @@ fi
 # Full suite under UBSan + ASan with every audit hook compiled in.
 # This is the stage that actually executes the invariant audits:
 # Release keeps PROFESS_AUDIT off (bit-identical hot path), Debug
-# turns it on and sanitizes the checks themselves.
+# turns it on and sanitizes the checks themselves.  PROFESS_DETSAN
+# rides along: the digest instrumentation and journal run under
+# both sanitizers here and feed the stage-7 differential.
 cmake -B build-ubsan -S . \
     -DCMAKE_BUILD_TYPE=Debug \
-    -DPROFESS_UBSAN=ON -DPROFESS_ASAN=ON -DPROFESS_AUDIT=ON
+    -DPROFESS_UBSAN=ON -DPROFESS_ASAN=ON -DPROFESS_AUDIT=ON \
+    -DPROFESS_DETSAN=ON
 cmake --build build-ubsan -j "$JOBS"
 UBSAN_OPTIONS="print_stacktrace=1" \
     ctest --test-dir build-ubsan --output-on-failure -j "$JOBS"
 
-echo "==> [6/6] Fault-injection scenario suite (UBSan+ASan+AUDIT)"
+echo "==> [6/7] Fault-injection scenario suite (UBSan+ASan+AUDIT)"
 # Reuses the stage-5 build: PROFESS_AUDIT=ON means every quiesce
 # audit, rollback invariant and ST/STC structural check actually
 # executes under both sanitizers while faults are being injected.
 UBSAN_OPTIONS="print_stacktrace=1" \
     ctest --test-dir build-ubsan --output-on-failure -j "$JOBS" \
         -R 'Scenario'
+
+echo "==> [7/7] DetSan differential (--jobs 1 vs --jobs 8)"
+# The serial measured pass journals one digest set per run
+# identity; the verification pass replays the same matrix on 8
+# pool workers and cross-checks in-process.  Any divergence —
+# event count, (when, seq) extraction order, epoch trajectory —
+# is a fatal digest mismatch.
+cmake --build build-ubsan -j "$JOBS" --target kernel_hotpath
+./build-ubsan/bench/kernel_hotpath --quick --jobs 8 \
+    --label detsan-diff --out build-ubsan/kernel_detsan.json
 
 echo "==> CI passed"

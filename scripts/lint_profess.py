@@ -1,307 +1,21 @@
 #!/usr/bin/env python3
-"""Domain-specific lint for the ProFess repository.
+"""Compatibility wrapper: the ProFess linter is now the
+`profess_analyze` package (scripts/profess_analyze/), which absorbs
+the original line rules (hotpath-heap, rng, stat-names,
+include-hygiene, include-order) unchanged and adds the determinism,
+hot-path reachability and lock-order passes.  This shim keeps
+`python3 scripts/lint_profess.py` (ci.sh, muscle memory, older
+docs) working with identical semantics and exit codes.
 
-Static rules that encode repo invariants generic tools cannot know:
-
-  hotpath-heap   Hot-path headers (the event loop, object pools, the
-                 inline-callback vehicle, and MDM's decision path)
-                 must not introduce std::function or heap
-                 allocation.  Placement new (``::new (addr)``) is
-                 allowed; plain ``new``, make_unique/make_shared and
-                 malloc are not.
-
-  rng            All randomness flows through common/rng.hh (PCG32,
-                 explicitly seeded) so runs stay reproducible.
-                 rand()/srand(), std::mt19937, random_device and
-                 default_random_engine are banned elsewhere.
-
-  stat-names     Statistic leaf names passed to
-                 StatRegistry::addCounter/addProbe/addSet must be
-                 dotted lower_snake identifiers, and a file must not
-                 register the same leaf twice (copy-paste guard; the
-                 registry itself panics on full-name duplicates at
-                 runtime).
-
-  include-hygiene
-                 Header guards follow PROFESS_<DIR>_<FILE>_HH; a .cc
-                 file includes its own header first; no "../"
-                 includes; no <bits/stdc++.h>.
-
-  include-order  Within each contiguous #include block (blocks are
-                 separated by blank lines or other code, matching
-                 .clang-format's IncludeBlocks: Preserve), targets
-                 must be case-sensitively sorted and a block must
-                 not mix <angle> and "quote" styles: system headers
-                 and project headers live in separate blocks.  The
-                 own-header include opening a .cc file is its own
-                 block and is exempt.
-
-Waivers live in scripts/lint_waivers.json as a list of
-{"rule", "path", "pattern", "reason"} objects; a finding is waived
-when rule and path match exactly and the optional pattern regex
-matches the offending line.  Exit status: 0 clean, 1 findings.
-
-Stdlib-only; run from anywhere: paths resolve against the repo root.
+Run `python3 scripts/profess_analyze --list-rules` for the catalog.
 """
 
-import json
 import os
-import re
 import sys
 
-REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-HOT_PATH_HEADERS = [
-    "src/common/event.hh",
-    "src/common/pool.hh",
-    "src/common/inline_function.hh",
-    "src/core/mdm.hh",
-]
-
-RNG_HOME = "src/common/rng.hh"
-
-SOURCE_DIRS = ["src", "tests", "bench", "examples"]
-
-STAT_CALL_RE = re.compile(
-    r'add(?:Counter|Probe|Set)\(\s*(?:prefix\s*\+\s*)?"([^"]*)"')
-# Leading dot: appended to a prefix.  Trailing dot: a runtime
-# suffix is concatenated after the literal.
-STAT_LEAF_RE = re.compile(r"^\.?[a-z][a-z0-9_]*(\.[a-z0-9_]+)*\.?$")
-
-BANNED_HEAP_RE = re.compile(
-    r"std::function"
-    r"|(?<!:)\bnew\b(?!\s*\()"  # plain new; "::new (addr)" is ok
-    r"|\bmake_unique\b|\bmake_shared\b|\bmalloc\s*\(")
-
-BANNED_RNG_RE = re.compile(
-    r"\b(?:s?rand)\s*\("
-    r"|std::mt19937|std::minstd_rand|random_device"
-    r"|default_random_engine")
-
-GUARD_RE = re.compile(r"^#ifndef\s+(\w+)\s*$", re.M)
-INCLUDE_RE = re.compile(r'^\s*#\s*include\s+["<]([^">]+)[">]')
-
-
-def strip_comments(text):
-    """Remove // and /* */ comments, preserving line structure."""
-    out = []
-    i, n = 0, len(text)
-    while i < n:
-        c = text[i]
-        if c == '"':
-            j = i + 1
-            while j < n and text[j] != '"':
-                j += 2 if text[j] == "\\" else 1
-            out.append(text[i:j + 1])
-            i = j + 1
-        elif text.startswith("//", i):
-            j = text.find("\n", i)
-            i = n if j < 0 else j
-        elif text.startswith("/*", i):
-            j = text.find("*/", i)
-            j = n if j < 0 else j + 2
-            out.append("\n" * text.count("\n", i, j))
-            i = j
-        else:
-            out.append(c)
-            i += 1
-    return "".join(out)
-
-
-def load_waivers():
-    path = os.path.join(REPO, "scripts", "lint_waivers.json")
-    if not os.path.exists(path):
-        return []
-    with open(path) as f:
-        waivers = json.load(f)
-    for w in waivers:
-        for key in ("rule", "path", "reason"):
-            if key not in w:
-                sys.exit("lint_waivers.json: waiver missing '%s': %r"
-                         % (key, w))
-    return waivers
-
-
-def waived(waivers, rule, path, line_text):
-    for w in waivers:
-        if w["rule"] != rule or w["path"] != path:
-            continue
-        if "pattern" in w and not re.search(w["pattern"], line_text):
-            continue
-        return True
-    return False
-
-
-class Linter:
-    def __init__(self):
-        self.waivers = load_waivers()
-        self.findings = []
-
-    def report(self, rule, path, lineno, message, line_text=""):
-        if waived(self.waivers, rule, path, line_text):
-            return
-        self.findings.append(
-            "%s:%d: [%s] %s" % (path, lineno, rule, message))
-
-    # --- rule: hotpath-heap -------------------------------------
-    def check_hot_path(self, path, code):
-        for lineno, line in enumerate(code.splitlines(), 1):
-            if line.lstrip().startswith("#"):
-                continue  # preprocessor (e.g. #include <new>)
-            m = BANNED_HEAP_RE.search(line)
-            if m:
-                self.report("hotpath-heap", path, lineno,
-                            "'%s' in hot-path header" % m.group(0),
-                            line)
-
-    # --- rule: rng ----------------------------------------------
-    def check_rng(self, path, code):
-        if path == RNG_HOME:
-            return
-        for lineno, line in enumerate(code.splitlines(), 1):
-            m = BANNED_RNG_RE.search(line)
-            if m:
-                self.report("rng", path, lineno,
-                            "'%s' outside %s (use common/rng.hh)"
-                            % (m.group(0).strip(), RNG_HOME), line)
-
-    # --- rule: stat-names ---------------------------------------
-    def check_stat_names(self, path, code):
-        seen = {}
-        for m in STAT_CALL_RE.finditer(code):
-            leaf = m.group(1)
-            lineno = code.count("\n", 0, m.start()) + 1
-            line = code.splitlines()[lineno - 1]
-            if not STAT_LEAF_RE.match(leaf):
-                self.report("stat-names", path, lineno,
-                            "stat name '%s' is not a dotted "
-                            "lower_snake identifier" % leaf, line)
-            if leaf in seen:
-                self.report("stat-names", path, lineno,
-                            "stat leaf '%s' already registered at "
-                            "line %d" % (leaf, seen[leaf]), line)
-            else:
-                seen[leaf] = lineno
-
-    # --- rule: include-hygiene ----------------------------------
-    def check_includes(self, path, raw):
-        for lineno, line in enumerate(raw.splitlines(), 1):
-            m = INCLUDE_RE.match(line)
-            if not m:
-                continue
-            target = m.group(1)
-            if target.startswith("../"):
-                self.report("include-hygiene", path, lineno,
-                            "relative '../' include", line)
-            if target == "bits/stdc++.h":
-                self.report("include-hygiene", path, lineno,
-                            "<bits/stdc++.h> is non-standard", line)
-
-        if path.startswith("src/") and path.endswith(".hh"):
-            rel = path[len("src/"):-len(".hh")]
-            want = "PROFESS_" + rel.replace("/", "_").upper() + "_HH"
-            m = GUARD_RE.search(raw)
-            if not m:
-                self.report("include-hygiene", path, 1,
-                            "missing header guard (expected %s)"
-                            % want)
-            elif m.group(1) != want:
-                lineno = raw.count("\n", 0, m.start()) + 1
-                self.report("include-hygiene", path, lineno,
-                            "header guard %s; expected %s"
-                            % (m.group(1), want), m.group(0))
-
-        if path.startswith("src/") and path.endswith(".cc"):
-            own = path[len("src/"):-len(".cc")] + ".hh"
-            if os.path.exists(os.path.join(REPO, "src", own)):
-                for lineno, line in enumerate(raw.splitlines(), 1):
-                    m = INCLUDE_RE.match(line)
-                    if not m:
-                        continue
-                    if m.group(1) != own:
-                        self.report(
-                            "include-hygiene", path, lineno,
-                            "own header \"%s\" must be the first "
-                            "include" % own, line)
-                    break
-
-    # --- rule: include-order ------------------------------------
-    def check_include_order(self, path, raw):
-        own = None
-        if path.startswith("src/") and path.endswith(".cc"):
-            candidate = path[len("src/"):-len(".cc")] + ".hh"
-            if os.path.exists(os.path.join(REPO, "src", candidate)):
-                own = candidate
-
-        blocks = []  # list of [(lineno, style, target, line)]
-        current = []
-        for lineno, line in enumerate(raw.splitlines(), 1):
-            m = INCLUDE_RE.match(line)
-            if m:
-                style = "<" if line.lstrip().rstrip().endswith(">") \
-                    else '"'
-                current.append((lineno, style, m.group(1), line))
-            elif current:
-                blocks.append(current)
-                current = []
-        if current:
-            blocks.append(current)
-
-        for block in blocks:
-            # The own-header block of a .cc is exempt (it sorts
-            # before nothing: include-hygiene already pins it
-            # first).
-            if (own is not None and len(block) == 1
-                    and block[0][2] == own):
-                continue
-            styles = {style for _, style, _, _ in block}
-            if len(styles) > 1:
-                lineno, _, _, line = block[0]
-                self.report("include-order", path, lineno,
-                            "include block mixes <angle> and "
-                            "\"quote\" styles; split into separate "
-                            "blocks", line)
-            targets = [t for _, _, t, _ in block]
-            if targets != sorted(targets):
-                for i in range(1, len(block)):
-                    if block[i][2] < block[i - 1][2]:
-                        lineno, _, target, line = block[i]
-                        self.report(
-                            "include-order", path, lineno,
-                            "'%s' breaks case-sensitive sort "
-                            "order (after '%s')"
-                            % (target, block[i - 1][2]), line)
-
-    def run(self):
-        for top in SOURCE_DIRS:
-            for root, _, files in os.walk(os.path.join(REPO, top)):
-                for name in sorted(files):
-                    if not name.endswith((".cc", ".hh")):
-                        continue
-                    full = os.path.join(root, name)
-                    path = os.path.relpath(full, REPO)
-                    with open(full, encoding="utf-8") as f:
-                        raw = f.read()
-                    code = strip_comments(raw)
-                    if path in HOT_PATH_HEADERS:
-                        self.check_hot_path(path, code)
-                    self.check_rng(path, code)
-                    self.check_stat_names(path, code)
-                    self.check_includes(path, raw)
-                    self.check_include_order(path, raw)
-        return self.findings
-
-
-def main():
-    findings = Linter().run()
-    for f in findings:
-        print(f)
-    if findings:
-        print("lint_profess: %d finding(s)" % len(findings))
-        return 1
-    print("lint_profess: clean")
-    return 0
-
+from profess_analyze.__main__ import main  # noqa: E402
 
 if __name__ == "__main__":
     sys.exit(main())

@@ -1,0 +1,38 @@
+"""profess_analyze -- determinism & hot-path static analyzer.
+
+A stdlib-only multi-pass analyzer for the ProFess C++ tree.  It
+grew out of scripts/lint_profess.py (whose line-regex rules it
+absorbs) and adds the checks a single-line regex cannot express:
+
+  * a tokenizer (lexer.py) and a per-translation-unit model
+    (cppmodel.py): include graph, class/function extents, member
+    declarations, virtual methods, namespace-scope variables,
+    mutex acquisitions and call sites;
+  * determinism rules (rules_determinism.py): unordered-container
+    iteration feeding ordered output, pointer-keyed containers,
+    wall-clock reads outside the waived telemetry files, mutable
+    function-local statics and non-const globals outside common/,
+    float accumulation into shared state;
+  * hot-path rules (rules_hotpath.py): a call-extent walk from the
+    EventQueue / Channel / HybridController hot loops flagging
+    heap allocation, std::function, virtual dispatch outside the
+    policy boundary, and telemetry branches missing
+    PROFESS_UNLIKELY;
+  * lock-order extraction (rules_locks.py): the mutex acquisition
+    graph across thread_pool / openmetrics / telemetry, failing on
+    cycles;
+  * the legacy line rules (rules_lint.py).
+
+Waivers live in scripts/lint_waivers.json; every waiver must carry
+`reason` and `expires` (ISO date) and must match at least one raw
+finding -- expired or stale waivers are themselves errors
+(waivers.py).  Findings can be emitted as SARIF 2.1.0 for GitHub
+code scanning (sarif.py).
+
+Run it as `python3 scripts/profess_analyze` (the directory is
+executable via __main__.py) or `python3 -m profess_analyze` with
+scripts/ on PYTHONPATH.  Exit status: 0 clean, 1 findings,
+2 usage/waiver errors.
+"""
+
+__version__ = "1.0"

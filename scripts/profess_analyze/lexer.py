@@ -1,0 +1,149 @@
+"""C++ tokenizer for profess_analyze.
+
+Not a full lexer -- just enough structure for the rule passes:
+comments are dropped (line numbers preserved), string and char
+literals become single tokens (so nothing inside them matches),
+preprocessor directives become one PP token per logical line, and
+everything else is split into identifiers, numbers and punctuation.
+Multi-character operators the rules care about (::, ->, <<, >>,
++=, -=, ==, !=, &&, ||) are kept as one token.
+"""
+
+import re
+
+
+class Tok:
+    """One token: kind, text, 1-based line."""
+
+    __slots__ = ("kind", "text", "line")
+
+    # kinds
+    ID = "id"
+    NUM = "num"
+    STR = "str"
+    CHAR = "char"
+    PUNCT = "punct"
+    PP = "pp"  # whole preprocessor directive (text = logical line)
+
+    def __init__(self, kind, text, line):
+        self.kind = kind
+        self.text = text
+        self.line = line
+
+    def __repr__(self):
+        return "Tok(%s, %r, %d)" % (self.kind, self.text, self.line)
+
+
+_ID_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+_NUM_RE = re.compile(r"(?:0[xXbB])?[0-9][0-9a-fA-F'.eEpPxXuUlLfF+-]*")
+_PUNCT2 = {
+    "::", "->", "<<", ">>", "+=", "-=", "*=", "/=", "==", "!=",
+    "<=", ">=", "&&", "||", "++", "--", "|=", "&=", "^=",
+}
+
+
+def tokenize(text):
+    """@return list of Tok for `text` (one file's contents)."""
+    toks = []
+    i, n = 0, len(text)
+    line = 1
+    at_line_start = True
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            line += 1
+            i += 1
+            at_line_start = True
+            continue
+        if c in " \t\r\f\v":
+            i += 1
+            continue
+        if text.startswith("//", i):
+            j = text.find("\n", i)
+            i = n if j < 0 else j
+            continue
+        if text.startswith("/*", i):
+            j = text.find("*/", i)
+            j = n if j < 0 else j + 2
+            line += text.count("\n", i, j)
+            i = j
+            continue
+        if c == "#" and at_line_start:
+            # One PP token per logical (backslash-continued) line.
+            start, start_line = i, line
+            while i < n:
+                j = text.find("\n", i)
+                if j < 0:
+                    j = n
+                if text[max(i, j - 1):j].endswith("\\"):
+                    line += 1
+                    i = j + 1
+                    continue
+                i = j
+                break
+            toks.append(Tok(Tok.PP, text[start:i], start_line))
+            continue
+        at_line_start = False
+        if c == '"':
+            # Raw strings appear in no rule-relevant context; handle
+            # the plain escaped form.
+            j = i + 1
+            while j < n and text[j] != '"':
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            toks.append(Tok(Tok.STR, text[i:j], line))
+            line += text.count("\n", i, j)
+            i = j
+            continue
+        if c == "'":
+            j = i + 1
+            while j < n and text[j] != "'":
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            toks.append(Tok(Tok.CHAR, text[i:j], line))
+            i = j
+            continue
+        m = _ID_RE.match(text, i)
+        if m:
+            toks.append(Tok(Tok.ID, m.group(0), line))
+            i = m.end()
+            continue
+        if c.isdigit():
+            m = _NUM_RE.match(text, i)
+            toks.append(Tok(Tok.NUM, m.group(0), line))
+            i = m.end()
+            continue
+        two = text[i:i + 2]
+        if two in _PUNCT2:
+            toks.append(Tok(Tok.PUNCT, two, line))
+            i += 2
+            continue
+        toks.append(Tok(Tok.PUNCT, c, line))
+        i += 1
+    return toks
+
+
+def strip_comments(text):
+    """// and /* */ removed, line structure and literals kept."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == '"':
+            j = i + 1
+            while j < n and text[j] != '"':
+                j += 2 if text[j] == "\\" else 1
+            out.append(text[i:j + 1])
+            i = j + 1
+        elif text.startswith("//", i):
+            j = text.find("\n", i)
+            i = n if j < 0 else j
+        elif text.startswith("/*", i):
+            j = text.find("*/", i)
+            j = n if j < 0 else j + 2
+            out.append("\n" * text.count("\n", i, j))
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)

@@ -1,0 +1,130 @@
+"""Lock-order extraction and cycle detection.
+
+Builds the mutex acquisition graph across the whole program:
+
+  * node: one mutex, identified as "Class::member" (for mutex
+    members) or "<file>::name" (for file-scope mutexes);
+  * edge A -> B: some function acquires A (lock_guard/unique_lock/
+    scoped_lock/.lock()) and, inside its extent, either acquires B
+    directly or calls a function that acquires B.  Calls are
+    resolved like the hot-path walk: same-class methods, methods
+    through typed members, same-TU free functions -- and, for lock
+    purposes, any uniquely-named function in the program (a lock
+    cycle hidden behind a unique helper name must not escape).
+
+A cycle in the graph is a potential deadlock between the
+thread_pool / openmetrics / telemetry / logging subsystems and
+fails the analysis (rule lock-order).  Held-ness is tracked by
+guard scope (a lock_guard covers its enclosing block's line
+extent; a bare .lock() conservatively covers the rest of its
+block), so sequential critical sections in one function do not
+fabricate edges.
+"""
+
+from .rules_base import Finding, Rule
+
+
+class LockOrderRule(Rule):
+    name = "lock-order"
+    description = "mutex acquisition graph must be acyclic"
+
+    def check_program(self, ctx):
+        # function -> set of mutexes it acquires directly
+        acquires = {}
+        fn_tu = {}
+        for tu in ctx.tus.values():
+            for fn in tu.functions:
+                fn_tu[id(fn)] = tu
+                if fn.locks:
+                    acquires[id(fn)] = fn
+        if not acquires:
+            return
+
+        edges = {}    # mutex -> {mutex: (path, line)}
+
+        def add_edge(a, b, path, line):
+            if a == b:
+                return
+            edges.setdefault(a, {}).setdefault(b, (path, line))
+
+        for fn in (f for f in acquires.values()):
+            tu = fn_tu[id(fn)]
+            locks = fn.locks
+            # direct nesting inside one function: B acquired within
+            # A's guard scope (line extents from the model)
+            for i in range(len(locks)):
+                for j in range(len(locks)):
+                    if i != j and locks[i].held_at(locks[j].line) \
+                            and locks[j].line >= locks[i].line:
+                        add_edge(locks[i].mutex, locks[j].mutex,
+                                 tu.path, locks[j].line)
+            # calls made while holding
+            for call in fn.calls:
+                holders = [l for l in locks if l.held_at(call.line)]
+                if not holders:
+                    continue
+                for target in self._resolve(ctx, tu, fn, call):
+                    for l2 in target.locks:
+                        for h in holders:
+                            add_edge(h.mutex, l2.mutex, tu.path,
+                                     call.line)
+
+        cycle = self._find_cycle(edges)
+        if cycle:
+            path, line = edges[cycle[0]][cycle[1]]
+            yield Finding(
+                self.name, path, line,
+                "lock-order cycle: %s (a thread holding the first "
+                "mutex can wait on the last while another thread "
+                "holds them in reverse)"
+                % "  ->  ".join(cycle + [cycle[0]]), "")
+
+    def _resolve(self, ctx, tu, fn, call):
+        out = []
+        if call.receiver in (None, "this") and fn.cls:
+            out += ctx.functions_by_qual.get(
+                "%s::%s" % (fn.cls, call.name), [])
+        if call.receiver not in (None, "this") and fn.cls:
+            mtype = ctx.member_type(fn.cls, call.receiver)
+            if mtype:
+                for word in mtype.replace("*", " ").split():
+                    if word in ctx.classes:
+                        out += ctx.functions_by_qual.get(
+                            "%s::%s" % (word, call.name), [])
+        if not out:
+            # unique global name (lock analysis only)
+            cands = ctx.functions_by_name.get(call.name, [])
+            if len(cands) == 1:
+                out.append(cands[0][1])
+        return out
+
+    def _find_cycle(self, edges):
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color = {}
+        stack = []
+
+        def dfs(u):
+            color[u] = GRAY
+            stack.append(u)
+            for v in sorted(edges.get(u, {})):
+                c = color.get(v, WHITE)
+                if c == GRAY:
+                    i = stack.index(v)
+                    return stack[i:]
+                if c == WHITE:
+                    r = dfs(v)
+                    if r:
+                        return r
+            stack.pop()
+            color[u] = BLACK
+            return None
+
+        for u in sorted(edges):
+            if color.get(u, WHITE) == WHITE:
+                r = dfs(u)
+                if r:
+                    return r
+        return None
+
+
+RULES = [LockOrderRule()]

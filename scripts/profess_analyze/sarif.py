@@ -1,0 +1,61 @@
+"""Minimal SARIF 2.1.0 writer for GitHub code scanning."""
+
+import json
+
+SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+          "master/Schemata/sarif-schema-2.1.0.json")
+
+
+def write(path, findings, rules, tool_version):
+    """Write `findings` (list of Finding) as one SARIF run.
+
+    @param rules  iterable of Rule (name/description) plus the
+                  dynamic rule ids appearing in findings.
+    """
+    rule_ids = []
+    descriptions = {}
+    for r in rules:
+        if r.name and r.name not in descriptions:
+            rule_ids.append(r.name)
+            descriptions[r.name] = r.description
+    for f in findings:
+        if f.rule not in descriptions:
+            rule_ids.append(f.rule)
+            descriptions[f.rule] = ""
+
+    doc = {
+        "$schema": SCHEMA,
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "profess_analyze",
+                    "informationUri":
+                        "scripts/profess_analyze/__init__.py",
+                    "version": tool_version,
+                    "rules": [{
+                        "id": rid,
+                        "shortDescription":
+                            {"text": descriptions[rid] or rid},
+                    } for rid in rule_ids],
+                }
+            },
+            "results": [{
+                "ruleId": f.rule,
+                "level": "error",
+                "message": {"text": f.message},
+                "locations": [{
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": f.path,
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {"startLine": max(f.line, 1)},
+                    }
+                }],
+            } for f in findings],
+        }],
+    }
+    with open(path, "w") as fp:
+        json.dump(doc, fp, indent=2, sort_keys=True)
+        fp.write("\n")

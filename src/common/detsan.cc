@@ -1,0 +1,84 @@
+#include "common/detsan.hh"
+
+#include "common/logging.hh"
+
+namespace profess
+{
+
+namespace detsan
+{
+
+bool
+Journal::record(const std::string &key, const RunDigest &d)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = runs_.find(key);
+    if (it == runs_.end()) {
+        runs_.emplace(key, d);
+        return false;
+    }
+    const RunDigest &prev = it->second;
+    fatal_if(!(prev == d),
+             "detsan: digest mismatch for run '%s':\n"
+             "  first  events=%llu extraction=%016llx epochs=%llu "
+             "epochState=%016llx\n"
+             "  repeat events=%llu extraction=%016llx epochs=%llu "
+             "epochState=%016llx\n"
+             "the same run identity produced different event or "
+             "epoch order — determinism is broken",
+             key.c_str(),
+             static_cast<unsigned long long>(prev.events),
+             static_cast<unsigned long long>(prev.extraction),
+             static_cast<unsigned long long>(prev.epochs),
+             static_cast<unsigned long long>(prev.epochState),
+             static_cast<unsigned long long>(d.events),
+             static_cast<unsigned long long>(d.extraction),
+             static_cast<unsigned long long>(d.epochs),
+             static_cast<unsigned long long>(d.epochState));
+    ++checked_;
+    return true;
+}
+
+bool
+Journal::lookup(const std::string &key, RunDigest &out) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = runs_.find(key);
+    if (it == runs_.end())
+        return false;
+    out = it->second;
+    return true;
+}
+
+std::size_t
+Journal::entries() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return runs_.size();
+}
+
+std::uint64_t
+Journal::checked() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return checked_;
+}
+
+void
+Journal::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    runs_.clear();
+    checked_ = 0;
+}
+
+Journal &
+Journal::global()
+{
+    static Journal journal;
+    return journal;
+}
+
+} // namespace detsan
+
+} // namespace profess

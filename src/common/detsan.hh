@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Determinism sanitizer (DetSan): runtime cross-check of the
+ * repo-wide invariant that simulation output is bit-identical for
+ * any worker count.
+ *
+ * Two digests prove it:
+ *
+ *  - the EventQueue mixes every extraction's (when, seq) pair into
+ *    a chained FNV-1a digest, fingerprinting the exact event order
+ *    a run executed (the ordering contract of event.hh);
+ *  - the EpochSampler mixes each epoch's tick, index and sampled
+ *    registry values, fingerprinting the observable statistics
+ *    trajectory.
+ *
+ * The process-global Journal stores each run's digests under its
+ * identity key (label, policy, programs, seed).  When the same
+ * identity is recorded again — e.g. kernel_hotpath's serial pass
+ * followed by its threaded verification pass — the digests are
+ * cross-checked and any mismatch is fatal with both values printed.
+ *
+ * The instrumentation in EventQueue / EpochSampler / the runners is
+ * compiled only under -DPROFESS_DETSAN=ON (CMake option); Release
+ * builds carry zero cost.  This header itself is build-agnostic so
+ * tests can exercise the digest and journal in any configuration.
+ */
+
+#ifndef PROFESS_COMMON_DETSAN_HH
+#define PROFESS_COMMON_DETSAN_HH
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace profess
+{
+
+namespace detsan
+{
+
+/** Chained FNV-1a (64-bit) over a sequence of words. */
+class Digest
+{
+  public:
+    /** Mix one 64-bit word, byte by byte, little-endian. */
+    void
+    mix(std::uint64_t v)
+    {
+        for (unsigned i = 0; i < 8; ++i) {
+            h_ ^= (v >> (8 * i)) & 0xff;
+            h_ *= 0x100000001b3ull;
+        }
+    }
+
+    /** Mix a double via its bit pattern (bit-exact, no rounding). */
+    void
+    mixDouble(double d)
+    {
+        std::uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(d));
+        __builtin_memcpy(&bits, &d, sizeof(bits));
+        mix(bits);
+    }
+
+    /** @return the digest over everything mixed so far. */
+    std::uint64_t value() const { return h_; }
+
+  private:
+    std::uint64_t h_ = 0xcbf29ce484222325ull; // FNV offset basis
+};
+
+/** The digests identifying one run's observable behavior. */
+struct RunDigest
+{
+    std::uint64_t events = 0;     ///< events executed
+    std::uint64_t extraction = 0; ///< FNV over (when, seq) order
+    std::uint64_t epochs = 0;     ///< sampler epochs taken
+    std::uint64_t epochState = 0; ///< FNV over per-epoch samples
+
+    bool
+    operator==(const RunDigest &o) const
+    {
+        return events == o.events && extraction == o.extraction &&
+               epochs == o.epochs && epochState == o.epochState;
+    }
+};
+
+/**
+ * Process-global journal of run digests, keyed by run identity.
+ * Thread-safe: parallel workers record concurrently.
+ */
+class Journal
+{
+  public:
+    /**
+     * Record `d` under `key`.  First recording stores it; a repeat
+     * recording cross-checks and is fatal on mismatch (printing
+     * both digest sets).
+     *
+     * @return true when this call cross-checked an earlier record.
+     */
+    bool record(const std::string &key, const RunDigest &d);
+
+    /** @return stored digest for `key`, if any. */
+    bool lookup(const std::string &key, RunDigest &out) const;
+
+    /** @return distinct identities recorded. */
+    std::size_t entries() const;
+
+    /** @return cross-checks performed (all of them matched, or the
+     *  process would have died). */
+    std::uint64_t checked() const;
+
+    /** Forget everything (tests running several batches). */
+    void clear();
+
+    /** The process-wide instance. */
+    static Journal &global();
+
+  private:
+    mutable std::mutex mu_;
+    std::map<std::string, RunDigest> runs_;
+    std::uint64_t checked_ = 0;
+};
+
+} // namespace detsan
+
+} // namespace profess
+
+#endif // PROFESS_COMMON_DETSAN_HH

@@ -49,6 +49,10 @@
 #include "common/logging.hh"
 #include "common/types.hh"
 
+#if PROFESS_DETSAN
+#include "common/detsan.hh"
+#endif
+
 namespace profess
 {
 
@@ -130,6 +134,12 @@ class EventQueue
      *  (beyond the wheel horizon; tests and diagnostics). */
     std::size_t overflowSize() const { return overflow_.size(); }
 
+#if PROFESS_DETSAN
+    /** @return chained FNV-1a over every extraction's (when, seq)
+     *  pair — identical digests mean identical event order. */
+    std::uint64_t detsanDigest() const { return detsan_.value(); }
+#endif
+
     /**
      * Pop and execute the next event, advancing time.
      *
@@ -147,6 +157,12 @@ class EventQueue
         Entry e = extract(peek_);
         peek_.found = false;
         PROFESS_AUDIT_ONLY(auditExtraction(e.when, e.seq));
+#if PROFESS_DETSAN
+        // Fingerprint the extraction order the (when, seq)
+        // contract promises; see common/detsan.hh.
+        detsan_.mix(e.when);
+        detsan_.mix(e.seq);
+#endif
         now_ = e.when;
         ++executed_;
         e.cb();
@@ -492,6 +508,9 @@ class EventQueue
     Tick lastWhen_ = 0;
     std::uint64_t lastSeq_ = 0;
     bool hasExtracted_ = false;
+#if PROFESS_DETSAN
+    detsan::Digest detsan_; ///< extraction-order fingerprint
+#endif
 };
 
 } // namespace profess

@@ -1,9 +1,12 @@
 #include "common/logging.hh"
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <mutex>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 namespace profess
 {
@@ -31,14 +34,19 @@ void
 reportSuppressed()
 {
     std::lock_guard<std::mutex> lock(warnMutex);
+    // Sort so the summary order does not depend on hash layout.
+    std::vector<std::pair<std::string, std::uint64_t>> suppressed;
     for (const auto &kv : warnCounts) {
-        if (kv.second > warnRepeatLimit) {
-            std::fprintf(stderr, "warn: suppressed %llu repeats "
-                         "of: %s\n",
-                         static_cast<unsigned long long>(
-                             kv.second - warnRepeatLimit),
-                         kv.first.c_str());
-        }
+        if (kv.second > warnRepeatLimit)
+            suppressed.emplace_back(kv.first, kv.second);
+    }
+    std::sort(suppressed.begin(), suppressed.end());
+    for (const auto &kv : suppressed) {
+        std::fprintf(stderr, "warn: suppressed %llu repeats "
+                     "of: %s\n",
+                     static_cast<unsigned long long>(
+                         kv.second - warnRepeatLimit),
+                     kv.first.c_str());
     }
 }
 

@@ -264,6 +264,12 @@ EpochSampler::sampleNow(Tick tick)
                                ? static_cast<double>(*e->counter)
                                : e->probe());
     }
+#if PROFESS_DETSAN
+    detsan_.mix(s.tick);
+    detsan_.mix(s.epoch);
+    for (double v : s.values)
+        detsan_.mixDouble(v);
+#endif
     if (out_) {
         std::fprintf(out_, "{\"tick\":%" PRIu64 ",\"epoch\":%" PRIu64
                            ",\"v\":{",

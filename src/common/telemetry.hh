@@ -41,6 +41,10 @@
 #include "common/stats.hh"
 #include "common/types.hh"
 
+#if PROFESS_DETSAN
+#include "common/detsan.hh"
+#endif
+
 /** Branch-prediction hint for the ~always-off telemetry checks. */
 #ifndef PROFESS_UNLIKELY
 #define PROFESS_UNLIKELY(x) __builtin_expect(!!(x), 0)
@@ -270,6 +274,12 @@ class EpochSampler
     /** @return retained samples, oldest first. */
     std::vector<Sample> retained() const;
 
+#if PROFESS_DETSAN
+    /** @return chained FNV-1a over every epoch's tick, index and
+     *  sampled values — the statistics-trajectory fingerprint. */
+    std::uint64_t detsanDigest() const { return detsan_.value(); }
+#endif
+
   private:
     void arm(EventQueue &eq);
 
@@ -283,6 +293,9 @@ class EpochSampler
     std::uint64_t epoch_ = 0;
     bool running_ = false;
     std::FILE *out_ = nullptr;
+#if PROFESS_DETSAN
+    detsan::Digest detsan_; ///< per-epoch state fingerprint
+#endif
 };
 
 /** Reproducibility record of one run. */

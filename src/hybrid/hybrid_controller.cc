@@ -318,7 +318,7 @@ HybridController::startSwap(std::uint64_t group,
              first_abort, begin, tid]() {
                 swapDone(group, promote_slot, m1_slot, attempt,
                          first_abort);
-                if (chrome_ != nullptr) {
+                if (PROFESS_UNLIKELY(chrome_ != nullptr)) {
                     chrome_->complete("swap", "hybrid", begin,
                                       eq_.now() - begin, tid);
                 }

@@ -8,6 +8,10 @@
 #include "sim/run_telemetry.hh"
 #include "sim/scenario.hh"
 
+#if PROFESS_DETSAN
+#include "common/detsan.hh"
+#endif
+
 namespace profess
 {
 
@@ -189,6 +193,42 @@ ExperimentRunner::run(const std::string &policy,
     // or parallel-worker — in every build type (the per-extraction
     // state it checks is itself PROFESS_AUDIT-gated).
     sys.eventQueue().auditInvariants();
+
+#if PROFESS_DETSAN
+    // Journal this run's digests under its full identity.  If the
+    // identical identity runs again in this process (any worker,
+    // any --jobs N), the digests must match exactly.  The identity
+    // must cover everything that legitimately changes the event
+    // stream: an attached epoch sampler schedules its own queue
+    // events, and a scenario schedule injects interventions — an
+    // instrumented and a bare run of the same workload are
+    // different trajectories, not a determinism violation.  The
+    // config fingerprint distinguishes sweep points the same way
+    // the AloneIpcCache keys do.
+    {
+        std::string dkey =
+            std::to_string(configFingerprint(base_,
+                                             footprintScale_));
+        dkey += "|" + label + "|" + policy;
+        for (const auto &p : programs)
+            dkey += "|" + p;
+        dkey += "|" + std::to_string(seed_base);
+        dkey += telemetry != nullptr
+                    ? "|t" + std::to_string(tc.epochInterval)
+                    : "|t-";
+        if (sc.loaded())
+            dkey += "|s" + std::to_string(sc.fingerprint());
+        detsan::RunDigest dig;
+        dig.events = sys.eventQueue().executed();
+        dig.extraction = sys.eventQueue().detsanDigest();
+        if (telemetry != nullptr &&
+            telemetry->sampler() != nullptr) {
+            dig.epochs = telemetry->sampler()->epochs();
+            dig.epochState = telemetry->sampler()->detsanDigest();
+        }
+        detsan::Journal::global().record(dkey, dig);
+    }
+#endif
 
     unsigned n = sys.numPrograms();
     std::uint64_t served_m1_total = 0;

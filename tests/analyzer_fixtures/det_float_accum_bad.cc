@@ -1,0 +1,16 @@
+// fixture-path: src/fix/faccum_fix.cc
+
+class SharedLatency {
+  public:
+    void add(double sample)
+    {
+        std::lock_guard<std::mutex> hold(mu_);
+        total_ += sample; // BAD[det-float-accum]
+        ++count_;
+    }
+
+  private:
+    std::mutex mu_;
+    double total_ = 0.0;
+    std::uint64_t count_ = 0;
+};

@@ -1,0 +1,16 @@
+// fixture-path: src/fix/faccum_fix.cc
+
+class SharedLatency {
+  public:
+    void add(std::uint64_t ticks)
+    {
+        std::lock_guard<std::mutex> hold(mu_);
+        totalTicks_ += ticks; // integer ticks: order-independent
+        ++count_;
+    }
+
+  private:
+    std::mutex mu_;
+    std::uint64_t totalTicks_ = 0;
+    std::uint64_t count_ = 0;
+};

@@ -1,0 +1,13 @@
+// fixture-path: src/fix/mstatic_fix.cc
+
+namespace {
+int callCount = 0; // BAD[det-mutable-static]
+} // namespace
+
+int
+nextTicket()
+{
+    static int next = 0; // BAD[det-mutable-static]
+    ++callCount;
+    return ++next;
+}

@@ -1,0 +1,19 @@
+// fixture-path: src/fix/mstatic_fix.cc
+
+namespace {
+constexpr int kMaxTickets = 64; // constants are fine
+} // namespace
+
+Config &
+config()
+{
+    // Meyers singleton: the documented process-global pattern.
+    static Config instance;
+    return instance;
+}
+
+int
+maxTickets()
+{
+    return kMaxTickets;
+}

@@ -1,0 +1,11 @@
+// fixture-path: src/fix/ptrkey_fix.cc
+
+class Region;
+
+class OwnerIndex {
+  public:
+    void add(Region *r, int id) { owners_[r] = id; }
+
+  private:
+    std::map<Region *, int> owners_; // BAD[det-pointer-key]
+};

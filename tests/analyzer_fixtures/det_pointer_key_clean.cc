@@ -1,0 +1,9 @@
+// fixture-path: src/fix/ptrkey_fix.cc
+
+class OwnerIndex {
+  public:
+    void add(std::uint64_t block, int id) { owners_[block] = id; }
+
+  private:
+    std::map<std::uint64_t, int> owners_; // keyed by stable block id
+};

@@ -1,0 +1,14 @@
+// fixture-path: src/fix/uiter_fix.cc
+
+class StatDump {
+  public:
+    void dumpAll(std::FILE *f)
+    {
+        for (const auto &kv : counts_) {
+            std::fprintf(f, "%llu\n", kv.second); // BAD[det-unordered-iter]
+        }
+    }
+
+  private:
+    std::unordered_map<std::uint64_t, std::uint64_t> counts_;
+};

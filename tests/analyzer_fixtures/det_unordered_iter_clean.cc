@@ -1,0 +1,17 @@
+// fixture-path: src/fix/uiter_fix.cc
+
+class StatDump {
+  public:
+    void dumpAll(std::FILE *f)
+    {
+        std::vector<std::uint64_t> vals;
+        for (const auto &kv : counts_)
+            vals.push_back(kv.second);
+        std::sort(vals.begin(), vals.end());
+        for (std::uint64_t v : vals)
+            std::fprintf(f, "%llu\n", v);
+    }
+
+  private:
+    std::unordered_map<std::uint64_t, std::uint64_t> counts_;
+};

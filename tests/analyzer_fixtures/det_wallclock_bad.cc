@@ -1,0 +1,10 @@
+// fixture-path: src/fix/wallclock_fix.cc
+
+long
+stampSeconds()
+{
+    struct timespec ts;
+    clock_gettime(0, &ts); // BAD[det-wallclock]
+    long wall = time(nullptr); // BAD[det-wallclock]
+    return ts.tv_sec + wall;
+}

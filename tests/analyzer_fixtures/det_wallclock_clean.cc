@@ -1,0 +1,12 @@
+// fixture-path: bench/wallclock_fix.cc
+// Identical wall-clock reads, but bench/ is a measurement harness
+// by definition (WALLCLOCK_WAIVED_PREFIXES): no findings.
+
+long
+stampSeconds()
+{
+    struct timespec ts;
+    clock_gettime(0, &ts);
+    long wall = time(nullptr);
+    return ts.tv_sec + wall;
+}

@@ -1,0 +1,23 @@
+// fixture-path: src/fix/hot_fix.cc
+
+class Policy {
+  public:
+    virtual int onAccess(int row) = 0;
+};
+
+class Channel {
+  public:
+    void push(int row) { stage(row); }
+
+  private:
+    void stage(int row)
+    {
+        int *scratch = new int[4]; // BAD[hot-heap-alloc]
+        std::function<void(int)> cb; // BAD[hot-std-function]
+        scratch[0] = policy_->onAccess(row); // BAD[hot-virtual-call]
+        delete[] scratch;
+        (void)cb;
+    }
+
+    Policy *policy_;
+};

@@ -1,0 +1,24 @@
+// fixture-path: src/fix/hot_fix.cc
+
+class MigrationPolicy {
+  public:
+    virtual int onAccess(int row) = 0;
+};
+
+class Channel {
+  public:
+    void push(int row) { stage(row); }
+
+  private:
+    void stage(int row)
+    {
+        // The policy boundary is the documented virtual-dispatch
+        // exemption; scratch comes from a fixed member buffer.
+        scratch_[0] = policy_->onAccess(row);
+        InlineCallback cb;
+        (void)cb;
+    }
+
+    MigrationPolicy *policy_;
+    int scratch_[4];
+};

@@ -1,0 +1,16 @@
+// fixture-path: src/fix/hotunlikely_fix.cc
+
+class Channel {
+  public:
+    void push(int row)
+    {
+        if (trace_ != nullptr) { // BAD[hot-unlikely]
+            trace_->record(row);
+        }
+        ++rows_;
+    }
+
+  private:
+    Trace *trace_ = nullptr;
+    std::uint64_t rows_ = 0;
+};

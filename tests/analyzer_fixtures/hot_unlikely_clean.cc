@@ -1,0 +1,20 @@
+// fixture-path: src/fix/hotunlikely_fix.cc
+
+class Channel {
+  public:
+    void push(int row)
+    {
+        if (PROFESS_UNLIKELY(trace_ != nullptr)) {
+            trace_->record(row);
+        }
+        if (trace_->enabled()) { // use, not presence test: no hint needed
+            ++traced_;
+        }
+        ++rows_;
+    }
+
+  private:
+    Trace *trace_ = nullptr;
+    std::uint64_t traced_ = 0;
+    std::uint64_t rows_ = 0;
+};

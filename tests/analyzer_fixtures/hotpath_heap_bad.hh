@@ -1,0 +1,11 @@
+// fixture-path: src/common/pool.hh
+#ifndef PROFESS_COMMON_POOL_HH
+#define PROFESS_COMMON_POOL_HH
+
+inline int *
+grab()
+{
+    return new int; // BAD[hotpath-heap]
+}
+
+#endif // PROFESS_COMMON_POOL_HH

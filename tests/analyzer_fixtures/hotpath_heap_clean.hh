@@ -1,0 +1,11 @@
+// fixture-path: src/common/pool.hh
+#ifndef PROFESS_COMMON_POOL_HH
+#define PROFESS_COMMON_POOL_HH
+
+inline int *
+grab(void *slot)
+{
+    return ::new (slot) int(); // placement new is the blessed form
+}
+
+#endif // PROFESS_COMMON_POOL_HH

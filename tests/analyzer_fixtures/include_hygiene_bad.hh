@@ -1,0 +1,13 @@
+// fixture-path: src/fix/hygiene_fix.hh
+// EXPECT[include-hygiene@6]  wrong guard name (want PROFESS_FIX_HYGIENE_FIX_HH)
+// EXPECT[include-hygiene@9]  relative '../' include
+// EXPECT[include-hygiene@11] <bits/stdc++.h>
+
+#ifndef WRONG_GUARD_HH
+#define WRONG_GUARD_HH
+
+#include "../common/types.hh"
+
+#include <bits/stdc++.h>
+
+#endif // WRONG_GUARD_HH

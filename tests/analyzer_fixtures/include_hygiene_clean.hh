@@ -1,0 +1,10 @@
+// fixture-path: src/fix/hygiene_fix.hh
+
+#ifndef PROFESS_FIX_HYGIENE_FIX_HH
+#define PROFESS_FIX_HYGIENE_FIX_HH
+
+#include "common/types.hh"
+
+#include <cstdint>
+
+#endif // PROFESS_FIX_HYGIENE_FIX_HH

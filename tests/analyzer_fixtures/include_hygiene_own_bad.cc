@@ -1,0 +1,6 @@
+// fixture-path: src/sim/system.cc
+// EXPECT[include-hygiene@4]  own header "sim/system.hh" must come first
+
+#include <vector>
+
+#include "sim/system.hh"

@@ -1,0 +1,5 @@
+// fixture-path: src/sim/system.cc
+
+#include "sim/system.hh"
+
+#include <vector>

@@ -1,0 +1,9 @@
+// fixture-path: src/fix/order_fix.cc
+// EXPECT[include-order@6]  <string> sorts before <vector>
+// EXPECT[include-order@8]  block mixes <angle> and "quote" styles
+
+#include <vector>
+#include <string>
+
+#include "common/types.hh"
+#include <cstdio>

@@ -1,0 +1,8 @@
+// fixture-path: src/fix/order_fix.cc
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+#include <cstdio>

@@ -1,0 +1,28 @@
+// fixture-path: src/fix/lockorder_fix.cc
+
+class TwoLocks {
+  public:
+    void fromA()
+    {
+        std::lock_guard<std::mutex> hold(a_);
+        stepB(); // BAD[lock-order]
+    }
+
+    void fromB()
+    {
+        std::lock_guard<std::mutex> hold(b_);
+        stepA();
+    }
+
+  private:
+    void stepB()
+    {
+        std::lock_guard<std::mutex> hold(b_);
+    }
+    void stepA()
+    {
+        std::lock_guard<std::mutex> hold(a_);
+    }
+    std::mutex a_;
+    std::mutex b_;
+};

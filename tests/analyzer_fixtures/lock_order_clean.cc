@@ -1,0 +1,25 @@
+// fixture-path: src/fix/lockorder_fix.cc
+
+class TwoLocks {
+  public:
+    void fromA()
+    {
+        std::lock_guard<std::mutex> hold(a_);
+        stepB();
+    }
+
+    void fromB()
+    {
+        // Same a_ -> b_ order on every path: acyclic.
+        std::lock_guard<std::mutex> hold(a_);
+        stepB();
+    }
+
+  private:
+    void stepB()
+    {
+        std::lock_guard<std::mutex> hold(b_);
+    }
+    std::mutex a_;
+    std::mutex b_;
+};

@@ -1,0 +1,8 @@
+// fixture-path: src/core/rng_fix.cc
+
+unsigned
+roll()
+{
+    std::mt19937 gen(42); // BAD[rng]
+    return static_cast<unsigned>(gen());
+}

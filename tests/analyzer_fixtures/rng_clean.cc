@@ -1,0 +1,11 @@
+// fixture-path: src/core/rng_fix.cc
+
+unsigned
+roll(unsigned state)
+{
+    // Deterministic mixing only; seeded PRNGs live in common/rng.hh.
+    state ^= state << 13;
+    state ^= state >> 17;
+    state ^= state << 5;
+    return state;
+}

@@ -1,0 +1,9 @@
+// fixture-path: src/fix/stat_names_fix.cc
+
+void
+registerStats(Registry &reg, Counters &c)
+{
+    reg.addCounter("BadName", c.a); // BAD[stat-names]
+    reg.addCounter("dup.leaf", c.b);
+    reg.addCounter("dup.leaf", c.c); // BAD[stat-names]
+}

@@ -1,0 +1,9 @@
+// fixture-path: src/fix/stat_names_fix.cc
+
+void
+registerStats(Registry &reg, Counters &c)
+{
+    reg.addCounter("fix.reads", c.a);
+    reg.addCounter("fix.writes", c.b);
+    reg.addHistogram("fix.latency", c.h);
+}
