@@ -1,6 +1,7 @@
 #include "common/detsan.hh"
 
 #include "common/logging.hh"
+#include "common/telemetry.hh"
 
 namespace profess
 {
@@ -21,20 +22,25 @@ Journal::record(const std::string &key, const RunDigest &d)
     fatal_if(!(prev == d),
              "detsan: digest mismatch for run '%s':\n"
              "  first  events=%llu extraction=%016llx epochs=%llu "
-             "epochState=%016llx\n"
+             "epochState=%016llx stats=%llu statState=%016llx\n"
              "  repeat events=%llu extraction=%016llx epochs=%llu "
-             "epochState=%016llx\n"
-             "the same run identity produced different event or "
-             "epoch order — determinism is broken",
+             "epochState=%016llx stats=%llu statState=%016llx\n"
+             "the same run identity produced different event order, "
+             "epoch trajectory or final statistics — determinism is "
+             "broken",
              key.c_str(),
              static_cast<unsigned long long>(prev.events),
              static_cast<unsigned long long>(prev.extraction),
              static_cast<unsigned long long>(prev.epochs),
              static_cast<unsigned long long>(prev.epochState),
+             static_cast<unsigned long long>(prev.stats),
+             static_cast<unsigned long long>(prev.statState),
              static_cast<unsigned long long>(d.events),
              static_cast<unsigned long long>(d.extraction),
              static_cast<unsigned long long>(d.epochs),
-             static_cast<unsigned long long>(d.epochState));
+             static_cast<unsigned long long>(d.epochState),
+             static_cast<unsigned long long>(d.stats),
+             static_cast<unsigned long long>(d.statState));
     ++checked_;
     return true;
 }
@@ -77,6 +83,23 @@ Journal::global()
 {
     static Journal journal;
     return journal;
+}
+
+std::uint64_t
+registryDigest(const telemetry::StatRegistry &reg)
+{
+    Digest d;
+    for (const auto &e : reg.entries()) {
+        d.mixString(e.name);
+        if (e.counter != nullptr) {
+            d.mix(1);
+            d.mix(*e.counter);
+        } else {
+            d.mix(2);
+            d.mixDouble(e.probe());
+        }
+    }
+    return d.value();
 }
 
 } // namespace detsan

@@ -32,9 +32,15 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <string_view>
 
 namespace profess
 {
+
+namespace telemetry
+{
+class StatRegistry;
+} // namespace telemetry
 
 namespace detsan
 {
@@ -63,6 +69,18 @@ class Digest
         mix(bits);
     }
 
+    /** Mix a byte string, length first (so "ab"+"c" and "a"+"bc"
+     *  never alias). */
+    void
+    mixString(std::string_view s)
+    {
+        mix(s.size());
+        for (char c : s) {
+            h_ ^= static_cast<unsigned char>(c);
+            h_ *= 0x100000001b3ull;
+        }
+    }
+
     /** @return the digest over everything mixed so far. */
     std::uint64_t value() const { return h_; }
 
@@ -77,12 +95,15 @@ struct RunDigest
     std::uint64_t extraction = 0; ///< FNV over (when, seq) order
     std::uint64_t epochs = 0;     ///< sampler epochs taken
     std::uint64_t epochState = 0; ///< FNV over per-epoch samples
+    std::uint64_t stats = 0;      ///< registry entries folded
+    std::uint64_t statState = 0;  ///< FNV over final (name, value)s
 
     bool
     operator==(const RunDigest &o) const
     {
         return events == o.events && extraction == o.extraction &&
-               epochs == o.epochs && epochState == o.epochState;
+               epochs == o.epochs && epochState == o.epochState &&
+               stats == o.stats && statState == o.statState;
     }
 };
 
@@ -123,6 +144,19 @@ class Journal
     std::map<std::string, RunDigest> runs_;
     std::uint64_t checked_ = 0;
 };
+
+/**
+ * Digest a registry's final values: every entry's name and value
+ * (counters bit-exact as integers, probes as double bit patterns)
+ * in the registry's sorted-name order.  Folded into RunDigest as
+ * stats/statState, it catches a divergence that cancels out of the
+ * sampled epochs — e.g. two runs whose epoch trajectories match
+ * but whose end-of-run counters drifted after the last sample.
+ * The epoch-digest invariant already proves the registry holds
+ * only deterministic simulation state (no wall clock), so final
+ * values are digestable in any build.
+ */
+std::uint64_t registryDigest(const telemetry::StatRegistry &reg);
 
 } // namespace detsan
 

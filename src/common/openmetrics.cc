@@ -2,8 +2,14 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cerrno>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
+#include <sstream>
+
+#include <unistd.h>
 
 #include "common/logging.hh"
 #include "common/telemetry.hh"
@@ -307,6 +313,173 @@ writeOpenMetricsFile(const std::string &path,
              path.c_str());
     writeOpenMetrics(f, runs);
     std::fclose(f);
+}
+
+namespace
+{
+
+/** fflush + fsync + fclose + rename(tmp -> path); fatal on error. */
+void
+commitFile(std::FILE *f, const std::string &tmp,
+           const std::string &path)
+{
+    fatal_if(std::fflush(f) != 0, "cannot flush '%s': %s",
+             tmp.c_str(), std::strerror(errno));
+    fatal_if(::fsync(::fileno(f)) != 0, "cannot fsync '%s': %s",
+             tmp.c_str(), std::strerror(errno));
+    std::fclose(f);
+    fatal_if(std::rename(tmp.c_str(), path.c_str()) != 0,
+             "cannot rename '%s' to '%s': %s", tmp.c_str(),
+             path.c_str(), std::strerror(errno));
+}
+
+} // anonymous namespace
+
+void
+writeOpenMetricsFileAtomic(const std::string &path,
+                           const std::vector<MetricsSnapshot> &runs)
+{
+    std::string tmp = path + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "w");
+    fatal_if(f == nullptr, "cannot write metrics file '%s'",
+             tmp.c_str());
+    writeOpenMetrics(f, runs);
+    commitFile(f, tmp, path);
+}
+
+void
+writeMetricsShardFile(const std::string &path,
+                      const MetricsSnapshot &snap)
+{
+    std::string tmp = path + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "w");
+    fatal_if(f == nullptr, "cannot write metrics shard '%s'",
+             tmp.c_str());
+    // Run labels may contain spaces; "run" consumes the rest of the
+    // line.  Dotted names never contain whitespace (the stat-name
+    // lint), so the remaining records are space-tokenized.
+    std::fprintf(f, "profess-shard 1\n");
+    std::fprintf(f, "run %s\n", snap.run.c_str());
+    for (const auto &s : snap.scalars) {
+        std::fprintf(f, "scalar %s %c %.17g\n", s.name.c_str(),
+                     s.isCounter ? 'c' : 'g', s.value);
+    }
+    for (const auto &h : snap.histograms) {
+        std::fprintf(f, "hist %s %.17g %llu %llu %.17g %zu",
+                     h.name.c_str(), h.bucketWidth,
+                     static_cast<unsigned long long>(h.underflow),
+                     static_cast<unsigned long long>(h.count), h.sum,
+                     h.buckets.size());
+        for (std::uint64_t b : h.buckets) {
+            std::fprintf(f, " %llu",
+                         static_cast<unsigned long long>(b));
+        }
+        std::fputc('\n', f);
+    }
+    std::fprintf(f, "end\n");
+    commitFile(f, tmp, path);
+}
+
+namespace
+{
+
+std::uint64_t
+shardU64(const std::string &path, int lineno, const std::string &tok)
+{
+    char *end = nullptr;
+    std::uint64_t v = std::strtoull(tok.c_str(), &end, 10);
+    fatal_if(end == tok.c_str() || *end != '\0',
+             "%s:%d: bad integer '%s' in metrics shard",
+             path.c_str(), lineno, tok.c_str());
+    return v;
+}
+
+double
+shardDouble(const std::string &path, int lineno,
+            const std::string &tok)
+{
+    char *end = nullptr;
+    double v = std::strtod(tok.c_str(), &end);
+    fatal_if(end == tok.c_str() || *end != '\0',
+             "%s:%d: bad number '%s' in metrics shard", path.c_str(),
+             lineno, tok.c_str());
+    return v;
+}
+
+} // anonymous namespace
+
+MetricsSnapshot
+readMetricsShardFile(const std::string &path)
+{
+    std::ifstream in(path);
+    fatal_if(!in.is_open(), "cannot open metrics shard '%s'",
+             path.c_str());
+    MetricsSnapshot snap;
+    std::string line;
+    int lineno = 0;
+    bool have_run = false;
+    bool have_end = false;
+
+    fatal_if(!std::getline(in, line) || line != "profess-shard 1",
+             "%s:1: not a profess-shard v1 file", path.c_str());
+    lineno = 1;
+
+    while (std::getline(in, line)) {
+        ++lineno;
+        fatal_if(have_end, "%s:%d: content after 'end'",
+                 path.c_str(), lineno);
+        if (line.rfind("run ", 0) == 0) {
+            snap.run = line.substr(4);
+            have_run = true;
+            continue;
+        }
+        if (line == "end") {
+            have_end = true;
+            continue;
+        }
+        std::istringstream is(line);
+        std::string rec;
+        is >> rec;
+        if (rec == "scalar") {
+            std::string name, kind, val;
+            is >> name >> kind >> val;
+            fatal_if(is.fail() || (kind != "c" && kind != "g"),
+                     "%s:%d: malformed scalar record", path.c_str(),
+                     lineno);
+            MetricsSnapshot::Scalar s;
+            s.name = name;
+            s.isCounter = (kind == "c");
+            s.value = shardDouble(path, lineno, val);
+            snap.scalars.push_back(std::move(s));
+        } else if (rec == "hist") {
+            std::string name, width, under, count, sum, nbuckets;
+            is >> name >> width >> under >> count >> sum >> nbuckets;
+            fatal_if(is.fail(), "%s:%d: malformed hist record",
+                     path.c_str(), lineno);
+            MetricsSnapshot::Hist h;
+            h.name = name;
+            h.bucketWidth = shardDouble(path, lineno, width);
+            h.underflow = shardU64(path, lineno, under);
+            h.count = shardU64(path, lineno, count);
+            h.sum = shardDouble(path, lineno, sum);
+            std::size_t n = shardU64(path, lineno, nbuckets);
+            for (std::size_t i = 0; i < n; ++i) {
+                std::string b;
+                is >> b;
+                fatal_if(is.fail(), "%s:%d: hist record truncated",
+                         path.c_str(), lineno);
+                h.buckets.push_back(shardU64(path, lineno, b));
+            }
+            snap.histograms.push_back(std::move(h));
+        } else {
+            fatal("%s:%d: unknown shard record '%s'", path.c_str(),
+                  lineno, rec.c_str());
+        }
+    }
+    fatal_if(!have_run || !have_end,
+             "%s: truncated metrics shard (missing %s)",
+             path.c_str(), have_run ? "'end'" : "'run'");
+    return snap;
 }
 
 } // namespace telemetry

@@ -106,6 +106,34 @@ void writeOpenMetrics(std::FILE *f,
 void writeOpenMetricsFile(const std::string &path,
                           const std::vector<MetricsSnapshot> &runs);
 
+/**
+ * As above, crash-atomically: the exposition is written to
+ * "<path>.tmp", fsync'd, then renamed over `path`, so a reader (or
+ * a killed writer) can never observe a half-written file.
+ */
+void writeOpenMetricsFileAtomic(
+    const std::string &path,
+    const std::vector<MetricsSnapshot> &runs);
+
+/**
+ * Write one snapshot as a self-contained per-run shard file
+ * (crash-atomically, as above).
+ *
+ * The shard is the exporter's O(runs) unit of work: one run's
+ * registry capture in a line-based text format ("profess-shard 1"
+ * header, "run"/"scalar"/"hist" records, "end" trailer).  Doubles
+ * are rendered with %.17g, which round-trips IEEE binary64
+ * exactly, so reading a shard back and re-rendering it — in C++
+ * (MetricsCollector::mergeShards) or Python
+ * (scripts/metrics_merge.py) — reproduces the legacy single-file
+ * exposition byte for byte.
+ */
+void writeMetricsShardFile(const std::string &path,
+                           const MetricsSnapshot &snap);
+
+/** Read a shard back (panics on a malformed or truncated file). */
+MetricsSnapshot readMetricsShardFile(const std::string &path);
+
 } // namespace telemetry
 
 } // namespace profess

@@ -67,6 +67,27 @@ configFingerprint(const SystemConfig &cfg, double footprint_scale)
     return h;
 }
 
+std::string
+runIdentityKey(const SystemConfig &cfg, double footprint_scale,
+               const std::string &label, const std::string &policy,
+               const std::vector<std::string> &programs,
+               std::uint64_t seed_base)
+{
+    std::string key =
+        std::to_string(configFingerprint(cfg, footprint_scale));
+    key += '|';
+    key += label;
+    key += '|';
+    key += policy;
+    for (const auto &p : programs) {
+        key += '|';
+        key += p;
+    }
+    key += '|';
+    key += std::to_string(seed_base);
+    return key;
+}
+
 double
 AloneIpcCache::getOrCompute(const std::string &key,
                             const std::function<double()> &compute)
@@ -206,13 +227,9 @@ ExperimentRunner::run(const std::string &policy,
     // config fingerprint distinguishes sweep points the same way
     // the AloneIpcCache keys do.
     {
-        std::string dkey =
-            std::to_string(configFingerprint(base_,
-                                             footprintScale_));
-        dkey += "|" + label + "|" + policy;
-        for (const auto &p : programs)
-            dkey += "|" + p;
-        dkey += "|" + std::to_string(seed_base);
+        std::string dkey = runIdentityKey(
+            base_, footprintScale_, label, policy, programs,
+            seed_base);
         dkey += telemetry != nullptr
                     ? "|t" + std::to_string(tc.epochInterval)
                     : "|t-";
@@ -221,10 +238,17 @@ ExperimentRunner::run(const std::string &policy,
         detsan::RunDigest dig;
         dig.events = sys.eventQueue().executed();
         dig.extraction = sys.eventQueue().detsanDigest();
-        if (telemetry != nullptr &&
-            telemetry->sampler() != nullptr) {
-            dig.epochs = telemetry->sampler()->epochs();
-            dig.epochState = telemetry->sampler()->detsanDigest();
+        if (telemetry != nullptr) {
+            if (telemetry->sampler() != nullptr) {
+                dig.epochs = telemetry->sampler()->epochs();
+                dig.epochState =
+                    telemetry->sampler()->detsanDigest();
+            }
+            // Final stats ride along: a divergence that cancels
+            // out of the sampled epochs still flips this digest.
+            dig.stats = telemetry->registry().size();
+            dig.statState =
+                detsan::registryDigest(telemetry->registry());
         }
         detsan::Journal::global().record(dkey, dig);
     }

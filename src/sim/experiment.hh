@@ -90,6 +90,22 @@ std::uint64_t configFingerprint(const SystemConfig &cfg,
                                 double footprint_scale);
 
 /**
+ * Canonical identity key of one run:
+ * "<configFingerprint>|<label>|<policy>|<p0>|...|<seed>".
+ *
+ * The DetSan journal keys digests with it (plus telemetry/scenario
+ * suffixes) and the sweep checkpoint (sim::SweepDriver) journals
+ * completed runs under it verbatim, so a journaled sweep run and
+ * its determinism digests name exactly the same thing.
+ */
+std::string runIdentityKey(const SystemConfig &cfg,
+                           double footprint_scale,
+                           const std::string &label,
+                           const std::string &policy,
+                           const std::vector<std::string> &programs,
+                           std::uint64_t seed_base);
+
+/**
  * Process-wide, thread-safe memoizing cache for stand-alone
  * (IPC_SP) reference runs.
  *

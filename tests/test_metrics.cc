@@ -669,7 +669,7 @@ TEST(LatencyAttribution, RecordsAndDropsOutOfRange)
     EXPECT_FALSE(reg.contains("latency.p0.m1.swap.queue.count"));
 }
 
-TEST(MetricsCollector, RewritesFileSortedAndValid)
+TEST(MetricsCollector, FlushWritesSortedAndValid)
 {
     MetricsCollector &coll = MetricsCollector::global();
     coll.clear();
@@ -681,14 +681,10 @@ TEST(MetricsCollector, RewritesFileSortedAndValid)
 
     // Completion order b-then-a must not leak into the file.
     coll.record(path, MetricsSnapshot::capture(reg, "b"));
-    // The file is valid after every record, not only the last one.
-    Exposition mid = parseExposition(readFile(path));
-    validateExposition(mid);
-    ASSERT_EQ(mid.samples.size(), 1u);
-
     c = 8;
     coll.record(path, MetricsSnapshot::capture(reg, "a"));
     EXPECT_EQ(coll.size(), 2u);
+    coll.flush();
 
     Exposition exp = parseExposition(readFile(path));
     validateExposition(exp);
@@ -696,8 +692,62 @@ TEST(MetricsCollector, RewritesFileSortedAndValid)
     EXPECT_EQ(exp.samples[0].labels.at("run"), "a");
     EXPECT_EQ(exp.samples[0].value, 8.0);
     EXPECT_EQ(exp.samples[1].labels.at("run"), "b");
-    coll.clear();
+
+    // Each record left a durable per-run shard; rebuilding the
+    // exposition from disk alone is byte-identical to flush().
+    std::string flushed = readFile(path);
+    coll.mergeShards(path);
+    EXPECT_EQ(readFile(path), flushed);
+    // mergeShards dropped the in-memory snapshots for `path`, so a
+    // later flush cannot clobber the merged result.
     EXPECT_EQ(coll.size(), 0u);
+    coll.clear();
+}
+
+TEST(MetricsCollector, ShardRoundTripIsExact)
+{
+    StatRegistry reg;
+    std::uint64_t c = 42;
+    reg.addCounter("rt.events", c);
+    // Values chosen to stress %.17g round-tripping: an irrational
+    // fraction, a denormal-ish magnitude and a negative gauge.
+    reg.addProbe("rt.ratio", []() { return 1.0 / 3.0; });
+    reg.addProbe("rt.tiny", []() { return 4.9406564584124654e-300; });
+    reg.addProbe("rt.neg", []() { return -2.5; });
+    Histogram h(0.1, 3);
+    h.add(-1.0);
+    h.add(0.05);
+    h.add(0.15);
+    h.add(99.0);
+    reg.addHistogram("rt.lat", h);
+
+    MetricsSnapshot snap =
+        MetricsSnapshot::capture(reg, "runX with space");
+    std::string path = tempBase("shard_rt") + ".shard";
+    telemetry::writeMetricsShardFile(path, snap);
+    MetricsSnapshot back = telemetry::readMetricsShardFile(path);
+
+    EXPECT_EQ(back.run, snap.run);
+    ASSERT_EQ(back.scalars.size(), snap.scalars.size());
+    for (std::size_t i = 0; i < snap.scalars.size(); ++i) {
+        EXPECT_EQ(back.scalars[i].name, snap.scalars[i].name);
+        EXPECT_EQ(back.scalars[i].isCounter,
+                  snap.scalars[i].isCounter);
+        // Bit-exact, not approximately equal: %.17g round-trips.
+        EXPECT_EQ(back.scalars[i].value, snap.scalars[i].value)
+            << snap.scalars[i].name;
+    }
+    ASSERT_EQ(back.histograms.size(), 1u);
+    EXPECT_EQ(back.histograms[0].bucketWidth, 0.1);
+    EXPECT_EQ(back.histograms[0].underflow, 1u);
+    EXPECT_EQ(back.histograms[0].count, 4u);
+    EXPECT_EQ(back.histograms[0].sum, snap.histograms[0].sum);
+    EXPECT_EQ(back.histograms[0].buckets,
+              snap.histograms[0].buckets);
+
+    // The exposition rendered from the round-tripped snapshot is
+    // byte-identical to one rendered from the original.
+    EXPECT_EQ(dumpExposition({back}), dumpExposition({snap}));
 }
 
 TEST(OpenMetrics, Fig13RunExportValidates)
@@ -725,9 +775,16 @@ TEST(OpenMetrics, Fig13RunExportValidates)
     sys.attachTelemetry(bundle);
     ASSERT_TRUE(sys.run());
     bundle.finish("profess", "w01", 7, configJson(cfg), true);
+    MetricsCollector::global().flush();
+    std::string legacy = readFile(tcfg.metricsOut);
+
+    // Acceptance pin: the sharded merge path reproduces the
+    // single-file exporter byte-for-byte for this workload.
+    MetricsCollector::global().mergeShards(tcfg.metricsOut);
+    EXPECT_EQ(readFile(tcfg.metricsOut), legacy);
     MetricsCollector::global().clear();
 
-    Exposition exp = parseExposition(readFile(tcfg.metricsOut));
+    Exposition exp = parseExposition(legacy);
     validateExposition(exp);
 
     // The attribution family is present and carries real samples:

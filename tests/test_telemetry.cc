@@ -508,6 +508,7 @@ TEST(Differential, MetricsExportIsBitIdentical)
     ExperimentRunner on(quickSingle(), trace::defaultScale,
                         &cache_on);
     RunResult a = on.run("profess", programs, 7, "mix");
+    MetricsCollector::global().flush();
     MetricsCollector::global().clear();
 
     TelemetryConfig::global() = TelemetryConfig{};
@@ -556,6 +557,7 @@ TEST(Differential, MetricsFileIdenticalAcrossWorkerCounts)
         ParallelRunner runner(jobs, &cache);
         runner.setProgress(false);
         runner.run(batch);
+        MetricsCollector::global().flush();
     };
     std::string serial = base + "_serial.prom";
     std::string parallel = base + "_par.prom";
